@@ -1,0 +1,44 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at a reduced
+budget by default, so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes on a laptop.  Set ``KATO_BENCH_SCALE=paper`` in the environment to run
+the full, paper-scale budgets (hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("KATO_BENCH_SCALE", "quick").lower()
+
+#: Formatted tables recorded by the benchmarks, echoed after the run so they
+#: survive pytest's stdout capture (these are the rows/series the paper reports).
+_REPORTS: list[str] = []
+
+
+def budget(quick: int, paper: int) -> int:
+    """Pick the simulation budget for the current benchmark scale."""
+    return paper if SCALE == "paper" else quick
+
+
+def record_report(text: str) -> None:
+    """Print a regenerated paper table and keep it for the end-of-run summary."""
+    print(text)
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", f"regenerated paper tables/figures ({SCALE} scale)")
+    for text in _REPORTS:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return SCALE

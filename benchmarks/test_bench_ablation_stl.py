@@ -1,0 +1,37 @@
+"""Benchmark E10 (ablation): selective transfer vs always / never transfer.
+
+Backs the paper's section 3.4 motivation: with a deliberately mismatched
+source circuit (a bandgap transferred onto an op-amp), blindly trusting the
+transfer model is risky; STL hedges between the transfer model and the
+target-only model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table, run_stl_ablation
+
+from conftest import record_report, SCALE, budget
+
+
+def test_ablation_selective_transfer(benchmark):
+    def run():
+        return run_stl_ablation(
+            target_circuit="two_stage_opamp",
+            target_technology="40nm",
+            mismatched_source_circuit="bandgap",
+            n_source_samples=budget(40, 200),
+            n_simulations=budget(44, 300),
+            n_init=budget(24, 150),
+            n_seeds=budget(1, 5),
+            seed=0,
+            quick=SCALE != "paper",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    record_report(format_table(results, title="Ablation: selective transfer learning",
+                       float_format="{:.2f}"))
+    for mode in ("stl", "always", "never"):
+        assert mode in results

@@ -1,0 +1,33 @@
+"""Benchmark E1 -- paper Fig. 1(b): Neural Kernel regression assessment.
+
+Regenerates the kernel comparison (RBF / RQ / Matern / DKL / Neuk) on a
+two-stage OpAmp regression task and prints the per-kernel test RMSE the way
+the paper's bar chart reports it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, run_neuk_assessment
+
+from conftest import record_report, budget
+
+
+def _run():
+    return run_neuk_assessment(
+        n_train=budget(40, 100),
+        n_test=budget(20, 50),
+        train_iters=budget(60, 200),
+        seed=0,
+    )
+
+
+def test_fig1_neuk_assessment(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    record_report(format_table(results, title="Fig. 1(b): kernel assessment "
+                                      "(test RMSE on two-stage OpAmp gain)",
+                       float_format="{:.3f}"))
+    # Every kernel must produce a finite error; the Neural Kernel must be
+    # competitive with (not catastrophically worse than) the best classic kernel.
+    best_classic = min(results[name]["rmse"] for name in ("rbf", "rq", "matern52"))
+    assert results["neuk"]["rmse"] < 5.0 * best_classic

@@ -1,0 +1,43 @@
+"""Benchmark E2 -- paper Fig. 4: FOM optimization (180 nm circuits).
+
+Regenerates the FOM-versus-simulation-budget comparison between random
+search, SMAC-RF, MACE and KATO.  The quick scale runs the two-stage OpAmp
+only; the paper scale sweeps all three circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import curves_to_rows, format_table, run_fom_experiment
+from repro.experiments.fom_experiment import fom_summary
+
+from conftest import record_report, SCALE, budget
+
+CIRCUITS = ["two_stage_opamp"] if SCALE != "paper" else [
+    "two_stage_opamp", "three_stage_opamp", "bandgap"]
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_fig4_fom_optimization(benchmark, circuit):
+    def run():
+        return run_fom_experiment(
+            circuit=circuit,
+            technology="180nm",
+            methods=("rs", "smac_rf", "mace", "kato"),
+            n_simulations=budget(40, 200),
+            n_init=10,
+            n_seeds=budget(1, 5),
+            n_normalization_samples=budget(40, 10000),
+            seed=0,
+            quick=SCALE != "paper",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    record_report(format_table(curves_to_rows(results),
+                       title=f"Fig. 4 ({circuit}, 180nm): best FOM vs budget",
+                       float_format="{:.3f}"))
+    summary = fom_summary(results)
+    # KATO must beat random search on final FOM (the paper's core ordering).
+    assert summary["kato"] >= summary["rs"] - 0.05

@@ -1,0 +1,43 @@
+"""Benchmark E6 -- paper Fig. 6(c-d): transfer learning across topologies.
+
+Source and target are different op-amp topologies at the same 40 nm node, so
+the design spaces have different dimensionality -- the setting only KAT-GP's
+encoder/decoder alignment supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import curves_to_rows, format_table, run_transfer_experiment
+
+from conftest import record_report, SCALE, budget
+
+PANELS = [("three_stage_opamp", "two_stage_opamp", "c")] if SCALE != "paper" else [
+    ("three_stage_opamp", "two_stage_opamp", "c"),
+    ("two_stage_opamp", "three_stage_opamp", "d"),
+]
+
+
+@pytest.mark.parametrize("source_circuit,target_circuit,panel", PANELS)
+def test_fig6_design_transfer(benchmark, source_circuit, target_circuit, panel):
+    def run():
+        return run_transfer_experiment(
+            source_circuit=source_circuit, source_technology="40nm",
+            target_circuit=target_circuit, target_technology="40nm",
+            constrained=True,
+            n_source_samples=budget(60, 200),
+            n_simulations=budget(50, 400),
+            n_init=budget(25, 200),
+            n_seeds=budget(1, 5),
+            seed=0,
+            quick=SCALE != "paper",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    record_report(format_table(curves_to_rows(results),
+                       title=f"Fig. 6({panel}): {source_circuit} -> {target_circuit} (40nm)",
+                       float_format="{:.2f}"))
+    assert np.isfinite(results["kato_tl"]["summary"]["mean"][-1])

@@ -1,0 +1,41 @@
+"""Benchmark E5 -- paper Fig. 6(a-b): transfer learning across technology nodes.
+
+Source: a circuit at 180 nm; target: the same circuit at 40 nm.  Compares
+KATO with and without transfer (plus TLMBO in the FOM setting on paper scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import curves_to_rows, format_table, run_transfer_experiment
+
+from conftest import record_report, SCALE, budget
+
+PANELS = [("two_stage_opamp", "a")] if SCALE != "paper" else [
+    ("two_stage_opamp", "a"), ("three_stage_opamp", "b")]
+
+
+@pytest.mark.parametrize("circuit,panel", PANELS)
+def test_fig6_node_transfer(benchmark, circuit, panel):
+    def run():
+        return run_transfer_experiment(
+            source_circuit=circuit, source_technology="180nm",
+            target_circuit=circuit, target_technology="40nm",
+            constrained=True,
+            n_source_samples=budget(60, 200),
+            n_simulations=budget(50, 400),
+            n_init=budget(25, 200),
+            n_seeds=budget(1, 5),
+            seed=0,
+            quick=SCALE != "paper",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    record_report(format_table(curves_to_rows(results),
+                       title=f"Fig. 6({panel}): {circuit} 180nm -> 40nm "
+                             "(best feasible I_total vs budget)",
+                       float_format="{:.2f}"))
+    assert np.isfinite(results["kato_tl"]["summary"]["mean"][-1])

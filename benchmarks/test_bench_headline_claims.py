@@ -1,0 +1,54 @@
+"""Benchmark E11: the paper's headline claims.
+
+The abstract promises "up to 2x simulation reduction and 1.2x design
+improvement over the baselines".  This benchmark computes both ratios from a
+head-to-head KATO-vs-MACE constrained run, printing the speedup (simulations
+needed to reach the baseline's best) and the improvement ratio of the final
+objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    format_table,
+    improvement_ratio,
+    run_constrained_experiment,
+    speedup_ratio,
+)
+
+from conftest import record_report, SCALE, budget
+
+
+def test_headline_speedup_and_improvement(benchmark):
+    def run():
+        return run_constrained_experiment(
+            circuit="two_stage_opamp",
+            technology="180nm",
+            methods=("mace", "kato"),
+            n_simulations=budget(60, 500),
+            n_init=budget(30, 300),
+            n_seeds=budget(1, 5),
+            seed=0,
+            quick=SCALE != "paper",
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    kato_curve = results["kato"]["summary"]["mean"]
+    mace_curve = results["mace"]["summary"]["mean"]
+    finite = np.isfinite(kato_curve) & np.isfinite(mace_curve)
+    rows = {}
+    if finite.any():
+        kato_c = np.where(np.isfinite(kato_curve), kato_curve, np.nanmax(kato_curve[finite]))
+        mace_c = np.where(np.isfinite(mace_curve), mace_curve, np.nanmax(mace_curve[finite]))
+        rows["kato_vs_mace"] = {
+            "speedup_x": speedup_ratio(kato_c, mace_c, minimize=True),
+            "improvement_x": improvement_ratio(kato_c[-1], mace_c[-1], minimize=True),
+            "kato_final_uA": float(kato_c[-1]),
+            "mace_final_uA": float(mace_c[-1]),
+        }
+    print()
+    record_report(format_table(rows, title="Headline claims (paper: ~2x speedup, ~1.2x improvement)",
+                       float_format="{:.2f}"))
+    assert rows, "no feasible designs found by either method -- increase the budget"

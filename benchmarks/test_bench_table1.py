@@ -1,0 +1,39 @@
+"""Benchmark E4 -- paper Table 1: optimal constrained designs at 180 nm.
+
+Prints, for every circuit, the metrics of the best feasible design found by
+each method plus the frozen human-expert reference -- the same rows Table 1
+reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table, run_table1
+
+from conftest import record_report, SCALE, budget
+
+
+def test_table1_constrained_designs(benchmark):
+    def run():
+        return run_table1(
+            circuits=("two_stage_opamp",) if SCALE != "paper" else
+                     ("two_stage_opamp", "three_stage_opamp", "bandgap"),
+            methods=("mace", "kato") if SCALE != "paper" else
+                    ("mesmoc", "usemoc", "mace", "kato"),
+            technology="180nm",
+            n_simulations=budget(55, 500),
+            n_init=budget(30, 300),
+            seed=0,
+            quick=SCALE != "paper",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for circuit, rows in table.items():
+        record_report(format_table(rows, title=f"Table 1 -- {circuit} (180nm)"))
+        print()
+    # The human-expert rows must always be present and finite.
+    for rows in table.values():
+        assert "human_expert" in rows
+        assert all(np.isfinite(v) for v in rows["human_expert"].values())

@@ -1,0 +1,38 @@
+"""Benchmark E8 -- paper Table 2: optimal 40 nm designs with transfer variants.
+
+Compares KATO, KATO (TL Node), KATO (TL Design) and KATO (TL Node&Design)
+against the human-expert reference at 40 nm, printing the same metric rows as
+the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table, run_table2
+
+from conftest import record_report, SCALE, budget
+
+
+def test_table2_transfer_designs(benchmark):
+    def run():
+        return run_table2(
+            circuits=("two_stage_opamp",) if SCALE != "paper" else
+                     ("two_stage_opamp", "three_stage_opamp"),
+            variants=("kato", "kato_tl_node") if SCALE != "paper" else
+                     ("kato", "kato_tl_node", "kato_tl_design", "kato_tl_both"),
+            n_simulations=budget(50, 400),
+            n_init=budget(25, 200),
+            n_source_samples=budget(50, 200),
+            seed=0,
+            quick=SCALE != "paper",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for circuit, rows in table.items():
+        record_report(format_table(rows, title=f"Table 2 -- {circuit} (40nm)"))
+        print()
+    for rows in table.values():
+        assert "human_expert" in rows and "kato" in rows
+        assert all(np.isfinite(v) for v in rows["human_expert"].values())

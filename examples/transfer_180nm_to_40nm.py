@@ -1,0 +1,56 @@
+"""Transfer learning example: reuse 180 nm knowledge when sizing at 40 nm.
+
+Run with::
+
+    python examples/transfer_180nm_to_40nm.py
+
+This reproduces the shape of paper Fig. 6(a) at a small budget: a source
+model is built from random simulations of the 180 nm two-stage OpAmp, then
+KATO is run on the 40 nm version of the same amplifier twice -- once without
+transfer and once with the KAT-GP + selective-transfer pipeline -- and the
+best-so-far curves are printed side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import TwoStageOpAmp
+from repro.core import KATO, KATOConfig
+from repro.experiments import make_source_model, speedup_ratio
+
+
+def run_kato(problem, source, seed):
+    config = KATOConfig(batch_size=4, surrogate_train_iters=25,
+                        kat_train_iters=80, pop_size=40, n_generations=12)
+    optimizer = KATO(problem, source=source, config=config, rng=seed)
+    history = optimizer.optimize(n_simulations=60, n_init=30)
+    return optimizer, history
+
+
+def main() -> None:
+    print("Building source model from 80 random 180 nm simulations ...")
+    source = make_source_model("two_stage_opamp", "180nm", n_samples=80, seed=0)
+
+    print("Optimising the 40 nm two-stage OpAmp without transfer ...")
+    _, plain_history = run_kato(TwoStageOpAmp("40nm"), source=None, seed=1)
+    print("Optimising the 40 nm two-stage OpAmp with KAT-GP transfer ...")
+    kato_tl, tl_history = run_kato(TwoStageOpAmp("40nm"), source=source, seed=1)
+
+    plain_curve = plain_history.best_curve(constrained=True)
+    tl_curve = tl_history.best_curve(constrained=True)
+    print("\nbudget   KATO (uA)   KATO+TL (uA)")
+    for index in range(29, len(plain_curve), 10):
+        plain = plain_curve[index] if np.isfinite(plain_curve[index]) else float("nan")
+        transferred = tl_curve[index] if np.isfinite(tl_curve[index]) else float("nan")
+        print(f"{index + 1:6d}   {plain:9.2f}   {transferred:11.2f}")
+
+    finite = np.isfinite(plain_curve) & np.isfinite(tl_curve)
+    if finite.any():
+        speedup = speedup_ratio(tl_curve, plain_curve, minimize=True)
+        print(f"\nSpeedup of transfer over no-transfer: {speedup:.2f}x")
+    print("Selective-transfer weights:", kato_tl.transfer_report()["weights"])
+
+
+if __name__ == "__main__":
+    main()

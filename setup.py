@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail at ``bdist_wheel``.  Keeping this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,180 @@
+"""Scalar acquisition functions (maximisation convention).
+
+All functions take posterior mean/variance arrays and return the acquisition
+value per point; the class wrappers bind a surrogate model so instances can be
+called directly on candidate design matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import norm_cdf, norm_pdf
+
+_EPS = 1e-12
+
+
+def expected_improvement(mean, variance, best, minimize: bool = False,
+                         xi: float = 0.0) -> np.ndarray:
+    """Expected improvement (paper Eq. 6).
+
+    Parameters
+    ----------
+    mean, variance:
+        Posterior mean and variance of the objective surrogate.
+    best:
+        Incumbent value ``y^\\dagger``.
+    minimize:
+        When True, improvement means going *below* ``best``.
+    xi:
+        Optional exploration margin.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.sqrt(np.maximum(np.asarray(variance, dtype=float), _EPS))
+    if minimize:
+        delta = best - mean - xi
+    else:
+        delta = mean - best - xi
+    z = delta / std
+    return delta * norm_cdf(z) + std * norm_pdf(z)
+
+
+def probability_of_improvement(mean, variance, best, minimize: bool = False,
+                               xi: float = 0.0) -> np.ndarray:
+    """Probability of improvement (paper Eq. 5)."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.sqrt(np.maximum(np.asarray(variance, dtype=float), _EPS))
+    if minimize:
+        z = (best - mean - xi) / std
+    else:
+        z = (mean - best - xi) / std
+    return norm_cdf(z)
+
+
+def upper_confidence_bound(mean, variance, beta: float = 2.0,
+                           minimize: bool = False) -> np.ndarray:
+    """Upper confidence bound (paper Eq. 7); lower confidence bound when minimising."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.sqrt(np.maximum(np.asarray(variance, dtype=float), _EPS))
+    if minimize:
+        return -(mean - beta * std)
+    return mean + beta * std
+
+
+def probability_of_feasibility(means, variances, thresholds, senses) -> np.ndarray:
+    """Probability that every constraint is satisfied (independent GPs).
+
+    Parameters
+    ----------
+    means, variances:
+        ``(n, n_constraints)`` posterior statistics of the constraint metrics.
+    thresholds:
+        Constraint limits ``C_i``.
+    senses:
+        Sequence of ``"ge"`` / ``"le"`` per constraint (metric >= C or <= C).
+    """
+    means = np.atleast_2d(np.asarray(means, dtype=float))
+    variances = np.atleast_2d(np.asarray(variances, dtype=float))
+    thresholds = np.asarray(thresholds, dtype=float)
+    stds = np.sqrt(np.maximum(variances, _EPS))
+    probability = np.ones(means.shape[0])
+    for j, sense in enumerate(senses):
+        z = (means[:, j] - thresholds[j]) / stds[:, j]
+        if sense == "ge":
+            probability = probability * norm_cdf(z)
+        elif sense == "le":
+            probability = probability * norm_cdf(-z)
+        else:
+            raise ValueError(f"unknown constraint sense {sense!r}")
+    return probability
+
+
+class _SurrogateAcquisition:
+    """Base for acquisition callables bound to a surrogate with ``predict``."""
+
+    def __init__(self, model, minimize: bool = False):
+        self.model = model
+        self.minimize = bool(minimize)
+
+    def _posterior(self, x) -> tuple[np.ndarray, np.ndarray]:
+        mean, variance = self.model.predict(x)
+        return np.asarray(mean, dtype=float).ravel(), np.asarray(variance, dtype=float).ravel()
+
+
+class ExpectedImprovement(_SurrogateAcquisition):
+    """EI bound to a surrogate and an incumbent."""
+
+    def __init__(self, model, best: float, minimize: bool = False, xi: float = 0.0):
+        super().__init__(model, minimize)
+        self.best = float(best)
+        self.xi = float(xi)
+
+    def __call__(self, x) -> np.ndarray:
+        mean, variance = self._posterior(x)
+        return expected_improvement(mean, variance, self.best, self.minimize, self.xi)
+
+
+class ProbabilityOfImprovement(_SurrogateAcquisition):
+    """PI bound to a surrogate and an incumbent."""
+
+    def __init__(self, model, best: float, minimize: bool = False, xi: float = 0.0):
+        super().__init__(model, minimize)
+        self.best = float(best)
+        self.xi = float(xi)
+
+    def __call__(self, x) -> np.ndarray:
+        mean, variance = self._posterior(x)
+        return probability_of_improvement(mean, variance, self.best, self.minimize, self.xi)
+
+
+class UpperConfidenceBound(_SurrogateAcquisition):
+    """UCB (or LCB for minimisation) bound to a surrogate."""
+
+    def __init__(self, model, beta: float = 2.0, minimize: bool = False):
+        super().__init__(model, minimize)
+        self.beta = float(beta)
+
+    def __call__(self, x) -> np.ndarray:
+        mean, variance = self._posterior(x)
+        return upper_confidence_bound(mean, variance, self.beta, self.minimize)
+
+
+class LowerConfidenceBound(UpperConfidenceBound):
+    """Alias emphasising the minimisation use of the confidence bound."""
+
+    def __init__(self, model, beta: float = 2.0):
+        super().__init__(model, beta=beta, minimize=True)
+
+
+class ProbabilityOfFeasibility:
+    """Product of per-constraint satisfaction probabilities (paper section 3.3)."""
+
+    def __init__(self, constraint_model, thresholds, senses):
+        self.constraint_model = constraint_model
+        self.thresholds = np.asarray(thresholds, dtype=float)
+        self.senses = list(senses)
+        if len(self.senses) != self.thresholds.shape[0]:
+            raise ValueError("thresholds and senses must have the same length")
+
+    def __call__(self, x) -> np.ndarray:
+        means, variances = self.constraint_model.predict(x)
+        return probability_of_feasibility(means, variances, self.thresholds, self.senses)
+
+
+class WeightedExpectedImprovement(_SurrogateAcquisition):
+    """Weighted EI of Lyu et al. (2018): EI of the objective times feasibility.
+
+    Turns the constrained problem into a single-objective acquisition, used
+    as an additional baseline and inside SMAC-RF for constrained tasks.
+    """
+
+    def __init__(self, model, best: float, feasibility: ProbabilityOfFeasibility,
+                 minimize: bool = False):
+        super().__init__(model, minimize)
+        self.best = float(best)
+        self.feasibility = feasibility
+
+    def __call__(self, x) -> np.ndarray:
+        mean, variance = self._posterior(x)
+        ei = expected_improvement(mean, variance, self.best, self.minimize)
+        return ei * self.feasibility(x)

@@ -1,0 +1,24 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+The paper trains its Neural Kernel, encoder and decoder with gradient descent
+in PyTorch.  PyTorch is not available in this offline environment, so this
+package provides a small, well-tested reverse-mode autodiff engine with
+exactly the operations the rest of the library needs: elementwise arithmetic,
+broadcasting, matrix products, reductions and the nonlinearities used by the
+Neural Kernel (``exp``) and the encoder/decoder (``sigmoid``/``tanh``).
+
+The public surface mirrors a tiny subset of PyTorch:
+
+>>> from repro.autodiff import Tensor
+>>> w = Tensor([[1.0, 2.0]], requires_grad=True)
+>>> x = Tensor([[3.0], [4.0]])
+>>> loss = (w @ x).sum()
+>>> loss.backward()
+>>> w.grad
+array([[3., 4.]])
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff import functional
+
+__all__ = ["Tensor", "no_grad", "functional"]

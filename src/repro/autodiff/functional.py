@@ -1,0 +1,90 @@
+"""Functional helpers built on :class:`repro.autodiff.Tensor`.
+
+These are the handful of array-level operations that the kernel and GP code
+need beyond plain tensor methods: pairwise squared distances, stacking and a
+numerically-safe exponential.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def as_tensor(value, requires_grad: bool = False) -> Tensor:
+    """Lift ``value`` to a :class:`Tensor` (no copy when already a tensor)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def pairwise_sqdist(x1: Tensor, x2: Tensor) -> Tensor:
+    """Pairwise squared Euclidean distances between rows of ``x1`` and ``x2``.
+
+    Returns an ``(n, m)`` tensor where entry ``(i, j)`` is
+    ``||x1[i] - x2[j]||^2``.  The result is clipped at zero to guard against
+    tiny negative values from cancellation.
+    """
+    x1 = as_tensor(x1)
+    x2 = as_tensor(x2)
+    sq1 = (x1 * x1).sum(axis=1, keepdims=True)            # (n, 1)
+    sq2 = (x2 * x2).sum(axis=1, keepdims=True).transpose() # (1, m)
+    cross = x1 @ x2.transpose()                             # (n, m)
+    dist = sq1 + sq2 - cross * 2.0
+    return dist.clip_min(0.0)
+
+
+def pairwise_l1dist(x1: Tensor, x2: Tensor) -> Tensor:
+    """Pairwise sum of absolute coordinate differences (Manhattan distance)."""
+    x1 = as_tensor(x1)
+    x2 = as_tensor(x2)
+    n, d = x1.shape
+    m = x2.shape[0]
+    a = x1.reshape(n, 1, d)
+    b = x2.reshape(1, m, d)
+    return (a - b).abs().sum(axis=2)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis, preserving gradients."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(upstream: np.ndarray) -> None:
+        pieces = np.split(np.asarray(upstream), len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    probe = tensors[0]
+    return probe._make(data, tensors, backward)
+
+
+def concatenate(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis, preserving gradients."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum(sizes)[:-1]
+
+    def backward(upstream: np.ndarray) -> None:
+        pieces = np.split(np.asarray(upstream), offsets, axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(piece)
+
+    probe = tensors[0]
+    return probe._make(data, tensors, backward)
+
+
+def dot(a: Tensor, b: Tensor) -> Tensor:
+    """Inner product of two 1-D tensors as a scalar tensor."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    return (a * b).sum()
+
+
+def quadratic_form(vector: Tensor, matrix: Tensor) -> Tensor:
+    """Compute ``v^T M v`` for a 1-D ``vector`` and square ``matrix``."""
+    vector = as_tensor(vector)
+    matrix = as_tensor(matrix)
+    return dot(vector, matrix @ vector)

@@ -1,0 +1,89 @@
+"""MESMOC baseline: max-value entropy search with constraints.
+
+Belakaria et al. (2020) select the point that maximises the information
+gained about the constrained optimum.  This implementation follows the
+standard single-objective MES recipe adapted to the constrained sizing
+setting used in the paper's Fig. 5:
+
+* optimum values ``y*`` are sampled by optimistic Thompson-style draws over a
+  random candidate pool (a cheap stand-in for Gumbel sampling);
+* the per-point information gain uses the closed-form truncated-Gaussian
+  entropy expression;
+* the gain is multiplied by the probability of feasibility of the constraint
+  surrogates.
+
+The paper observes MESMOC under-explores on these problems; that qualitative
+behaviour (greedy, feasibility-dominated selection) is preserved here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition.functions import probability_of_feasibility
+from repro.bo.base import BaseOptimizer
+from repro.bo.problem import OptimizationProblem
+from repro.errors import OptimizationError
+from repro.gp import GPRegression, MultiOutputGP
+from repro.kernels import RBFKernel
+from repro.utils.random import RandomState
+from repro.utils.stats import norm_cdf, norm_pdf
+
+
+class MESMOC(BaseOptimizer):
+    """Constrained max-value entropy search over a random candidate pool."""
+
+    name = "mesmoc"
+
+    def __init__(self, problem: OptimizationProblem, batch_size: int = 4,
+                 rng: RandomState = None, n_candidates: int = 1024,
+                 n_max_samples: int = 8, surrogate_train_iters: int = 50):
+        super().__init__(problem, batch_size=batch_size, rng=rng,
+                         surrogate_train_iters=surrogate_train_iters)
+        if problem.n_constraints == 0:
+            raise OptimizationError("MESMOC requires a constrained problem")
+        self.n_candidates = int(n_candidates)
+        self.n_max_samples = int(n_max_samples)
+
+    def _fit_surrogates(self) -> tuple[GPRegression, MultiOutputGP]:
+        x_unit, y = self._training_data()
+        objective_model = GPRegression(kernel=RBFKernel(x_unit.shape[1]))
+        objective_model.fit(x_unit, y, n_iters=self.surrogate_train_iters)
+        constraint_model = MultiOutputGP(kernel_factory=lambda d: RBFKernel(d))
+        constraint_model.fit(x_unit, self._constraint_data(),
+                             n_iters=self.surrogate_train_iters)
+        return objective_model, constraint_model
+
+    def _sample_optima(self, model: GPRegression, candidates: np.ndarray) -> np.ndarray:
+        """Optimistic samples of the (sign-adjusted) optimal value."""
+        mean, var = model.predict(candidates)
+        std = np.sqrt(var)
+        sign = -1.0 if self.problem.minimize else 1.0
+        draws = []
+        for _ in range(self.n_max_samples):
+            sample = sign * mean + std * np.abs(self.rng.normal(size=mean.shape[0]))
+            draws.append(sample.max())
+        return np.asarray(draws)
+
+    def propose(self) -> np.ndarray:
+        objective_model, constraint_model = self._fit_surrogates()
+        candidates = self.problem.design_space.sample_unit(self.n_candidates, rng=self.rng)
+        mean, var = objective_model.predict(candidates)
+        std = np.sqrt(np.maximum(var, 1e-12))
+        sign = -1.0 if self.problem.minimize else 1.0
+        mean_adj = sign * mean
+        optima = self._sample_optima(objective_model, candidates)
+        # Closed-form MES information gain averaged over the sampled optima.
+        gain = np.zeros(candidates.shape[0])
+        for y_star in optima:
+            gamma = (y_star - mean_adj) / std
+            cdf = np.maximum(norm_cdf(gamma), 1e-12)
+            gain += gamma * norm_pdf(gamma) / (2.0 * cdf) - np.log(cdf)
+        gain /= optima.shape[0]
+        c_mean, c_var = constraint_model.predict(candidates)
+        feasibility = probability_of_feasibility(
+            c_mean, c_var, self.problem.constraint_thresholds,
+            self.problem.constraint_senses)
+        scores = gain * feasibility
+        order = np.argsort(-scores)
+        return candidates[order[: self.batch_size]]

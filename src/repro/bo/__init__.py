@@ -1,0 +1,36 @@
+"""Bayesian-optimization engines.
+
+* :class:`DesignSpace` -- named, bounded (optionally log-scaled) design
+  variables mapped to the unit cube that every optimizer works in.
+* :class:`OptimizationProblem` / :class:`Constraint` -- the black-box
+  interface the circuit testbenches implement.
+* :class:`OptimizationHistory` -- per-simulation records and best-so-far
+  curves (the x-axis of every figure in the paper).
+* Optimizers: random search, single-objective GP-EI, SMAC-RF,
+  MACE (FOM), constrained MACE (six objectives) and KATO's modified
+  constrained MACE (three objectives, paper Eq. 13).
+"""
+
+from repro.bo.design_space import DesignSpace, DesignVariable
+from repro.bo.problem import Constraint, EvaluatedDesign, OptimizationProblem
+from repro.bo.history import OptimizationHistory
+from repro.bo.base import BaseOptimizer, SingleObjectiveBO
+from repro.bo.random_search import RandomSearch
+from repro.bo.smac_rf import SMACRF
+from repro.bo.mace import MACE
+from repro.bo.constrained_mace import ConstrainedMACE
+
+__all__ = [
+    "DesignSpace",
+    "DesignVariable",
+    "Constraint",
+    "EvaluatedDesign",
+    "OptimizationProblem",
+    "OptimizationHistory",
+    "BaseOptimizer",
+    "SingleObjectiveBO",
+    "RandomSearch",
+    "SMACRF",
+    "MACE",
+    "ConstrainedMACE",
+]

@@ -1,0 +1,161 @@
+"""Optimizer base class and a plain single-objective GP-EI optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition import ExpectedImprovement
+from repro.bo.history import OptimizationHistory
+from repro.bo.problem import EvaluatedDesign, OptimizationProblem
+from repro.errors import OptimizationError
+from repro.gp import GPRegression
+from repro.kernels import Kernel, RBFKernel
+from repro.optim.lbfgs import minimize_lbfgs
+from repro.utils.random import RandomState, as_rng
+
+
+class BaseOptimizer:
+    """Shared ask/tell loop for all sizing optimizers.
+
+    Subclasses implement :meth:`propose` which returns a batch of unit-cube
+    candidates given the current history; the base class owns the history,
+    the initial random designs and the budgeted :meth:`optimize` loop.
+
+    Parameters
+    ----------
+    problem:
+        The black-box sizing problem.
+    batch_size:
+        Number of designs simulated per iteration (MACE-style batching).
+    surrogate_train_iters:
+        Adam iterations for surrogate hyper-parameter training per refit.
+    """
+
+    name = "base"
+
+    def __init__(self, problem: OptimizationProblem, batch_size: int = 1,
+                 rng: RandomState = None, surrogate_train_iters: int = 50):
+        if batch_size < 1:
+            raise OptimizationError("batch_size must be at least 1")
+        self.problem = problem
+        self.batch_size = int(batch_size)
+        self.rng = as_rng(rng)
+        self.surrogate_train_iters = int(surrogate_train_iters)
+        self.history = OptimizationHistory(problem)
+
+    # ------------------------------------------------------------------ #
+    # data handling                                                       #
+    # ------------------------------------------------------------------ #
+    def initialize(self, n_init: int = 10,
+                   initial_designs: np.ndarray | None = None,
+                   initial_evaluations: list[EvaluatedDesign] | None = None) -> None:
+        """Seed the history with random designs and/or provided evaluations."""
+        if initial_evaluations:
+            self.history.extend(initial_evaluations)
+        if initial_designs is not None:
+            self.history.extend(self.problem.evaluate_batch(initial_designs))
+        already = len(self.history)
+        if already < n_init:
+            designs = self.problem.design_space.sample(n_init - already, rng=self.rng)
+            self.history.extend(self.problem.evaluate_batch(designs))
+
+    def _training_data(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unit-cube inputs and objective values of everything simulated so far."""
+        x_unit = self.problem.design_space.to_unit(self.history.x)
+        return x_unit, self.history.objectives
+
+    def _constraint_data(self) -> np.ndarray:
+        """Constraint-metric matrix ``(n, n_constraints)`` of the history."""
+        metrics = self.history.metrics_matrix()
+        return metrics[:, 1:]
+
+    def incumbent(self, constrained: bool | None = None) -> float:
+        """Current best objective (feasible-only for constrained problems)."""
+        constrained = self.problem.n_constraints > 0 if constrained is None else constrained
+        best = self.history.best_objective(constrained=constrained)
+        if np.isfinite(best):
+            return best
+        # No feasible design yet: fall back to the best raw objective so the
+        # acquisition still has a reference level.
+        return self.history.best_objective(constrained=False)
+
+    # ------------------------------------------------------------------ #
+    # optimization loop                                                   #
+    # ------------------------------------------------------------------ #
+    def propose(self) -> np.ndarray:
+        """Return a ``(batch_size, d)`` matrix of unit-cube candidates."""
+        raise NotImplementedError
+
+    def step(self) -> list[EvaluatedDesign]:
+        """One ask/evaluate/tell iteration; returns the new evaluations."""
+        if len(self.history) == 0:
+            raise OptimizationError("call initialize() before step()")
+        unit_candidates = np.atleast_2d(self.propose())
+        designs = self.problem.design_space.from_unit(unit_candidates)
+        evaluations = self.problem.evaluate_batch(designs)
+        self.history.extend(evaluations)
+        return evaluations
+
+    def optimize(self, n_simulations: int, n_init: int = 10,
+                 initial_designs: np.ndarray | None = None,
+                 initial_evaluations: list[EvaluatedDesign] | None = None,
+                 callback=None) -> OptimizationHistory:
+        """Run until ``n_simulations`` total simulations have been spent."""
+        if len(self.history) == 0:
+            self.initialize(n_init=min(n_init, n_simulations),
+                            initial_designs=initial_designs,
+                            initial_evaluations=initial_evaluations)
+        while len(self.history) < n_simulations:
+            self.step()
+            if callback is not None:
+                callback(self.history)
+        return self.history
+
+
+class SingleObjectiveBO(BaseOptimizer):
+    """Vanilla GP + expected-improvement BO (sequential, batch via constant liar)."""
+
+    name = "gp_ei"
+
+    def __init__(self, problem: OptimizationProblem, kernel: Kernel | None = None,
+                 batch_size: int = 1, rng: RandomState = None,
+                 surrogate_train_iters: int = 50, acq_restarts: int = 5):
+        super().__init__(problem, batch_size=batch_size, rng=rng,
+                         surrogate_train_iters=surrogate_train_iters)
+        self.kernel = kernel
+        self.acq_restarts = int(acq_restarts)
+
+    def _fit_surrogate(self) -> GPRegression:
+        x_unit, y = self._training_data()
+        kernel = self.kernel if self.kernel is not None else RBFKernel(x_unit.shape[1])
+        model = GPRegression(kernel=kernel)
+        model.fit(x_unit, y, n_iters=self.surrogate_train_iters)
+        return model
+
+    def propose(self) -> np.ndarray:
+        model = self._fit_surrogate()
+        best = self.incumbent(constrained=False)
+        bounds = self.problem.design_space.unit_bounds
+        proposals = []
+        # Constant-liar batching: pretend each accepted candidate achieved the
+        # incumbent so subsequent candidates spread out.
+        lie_x, lie_y = [], []
+        for _ in range(self.batch_size):
+            acquisition = ExpectedImprovement(model, best, minimize=self.problem.minimize)
+
+            def negative_acq(point: np.ndarray) -> float:
+                return -float(acquisition(point.reshape(1, -1))[0])
+
+            candidate, _ = minimize_lbfgs(negative_acq, bounds,
+                                          n_restarts=self.acq_restarts, rng=self.rng)
+            proposals.append(candidate)
+            if self.batch_size > 1:
+                lie_x.append(candidate)
+                lie_y.append(best)
+                x_unit, y = self._training_data()
+                x_aug = np.vstack([x_unit, np.asarray(lie_x)])
+                y_aug = np.concatenate([y, np.asarray(lie_y)])
+                model = GPRegression(kernel=self.kernel if self.kernel is not None
+                                     else RBFKernel(x_aug.shape[1]))
+                model.fit(x_aug, y_aug, n_iters=max(10, self.surrogate_train_iters // 2))
+        return np.asarray(proposals)

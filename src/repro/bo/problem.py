@@ -1,0 +1,152 @@
+"""Black-box problem interface implemented by the circuit testbenches.
+
+A sizing task (paper Eq. 1) is: maximise or minimise one performance metric
+subject to threshold constraints on the others.  ``OptimizationProblem``
+captures exactly that, plus batch evaluation, feasibility checks and the
+constraint-violation measure used in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bo.design_space import DesignSpace
+from repro.utils.validation import check_matrix
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A threshold constraint on one named metric.
+
+    ``sense='ge'`` means the metric must be at least ``threshold``
+    (e.g. Gain > 60 dB); ``sense='le'`` means at most (e.g. I_total < 6 uA).
+    """
+
+    name: str
+    threshold: float
+    sense: str = "ge"
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("ge", "le"):
+            raise ValueError(f"sense must be 'ge' or 'le', got {self.sense!r}")
+
+    def satisfied(self, value: float, tolerance: float = 0.0) -> bool:
+        if self.sense == "ge":
+            return bool(value >= self.threshold - tolerance)
+        return bool(value <= self.threshold + tolerance)
+
+    def violation(self, value: float) -> float:
+        """Non-negative violation magnitude (0 when satisfied)."""
+        if self.sense == "ge":
+            return float(max(0.0, self.threshold - value))
+        return float(max(0.0, value - self.threshold))
+
+
+@dataclass
+class EvaluatedDesign:
+    """One simulated design: inputs, all metrics and feasibility."""
+
+    x: np.ndarray
+    metrics: dict[str, float]
+    objective: float
+    feasible: bool
+    violation: float = 0.0
+    tag: str = ""
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class OptimizationProblem:
+    """Base class for constrained sizing problems.
+
+    Subclasses provide :meth:`simulate` returning a metric dictionary; this
+    base class provides the bookkeeping shared by every testbench.
+
+    Parameters
+    ----------
+    name:
+        Problem identifier used in reports (e.g. ``"two_stage_opamp_180nm"``).
+    design_space:
+        The physical design space.
+    objective:
+        Name of the metric to optimise.
+    minimize:
+        Whether the objective is minimised (True for current or TC).
+    constraints:
+        Threshold constraints on other metrics.
+    """
+
+    def __init__(self, name: str, design_space: DesignSpace, objective: str,
+                 minimize: bool, constraints: list[Constraint]):
+        self.name = name
+        self.design_space = design_space
+        self.objective = objective
+        self.minimize = bool(minimize)
+        self.constraints = list(constraints)
+
+    # ------------------------------------------------------------------ #
+    # metric layout                                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def constraint_names(self) -> list[str]:
+        return [c.name for c in self.constraints]
+
+    @property
+    def metric_names(self) -> list[str]:
+        """Objective first, then constraint metrics, in a stable order."""
+        return [self.objective, *self.constraint_names]
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def constraint_thresholds(self) -> np.ndarray:
+        return np.array([c.threshold for c in self.constraints], dtype=float)
+
+    @property
+    def constraint_senses(self) -> list[str]:
+        return [c.sense for c in self.constraints]
+
+    # ------------------------------------------------------------------ #
+    # evaluation                                                          #
+    # ------------------------------------------------------------------ #
+    def simulate(self, design: dict[str, float]) -> dict[str, float]:
+        """Run the testbench for one named design point.  Subclasses override."""
+        raise NotImplementedError
+
+    def evaluate(self, x) -> EvaluatedDesign:
+        """Evaluate one design vector (physical units)."""
+        x = np.asarray(x, dtype=float).ravel()
+        design = self.design_space.as_dict(self.design_space.clip(x.reshape(1, -1))[0])
+        metrics = self.simulate(design)
+        missing = [m for m in self.metric_names if m not in metrics]
+        if missing:
+            raise KeyError(f"simulate() did not return metrics {missing} for {self.name}")
+        objective = float(metrics[self.objective])
+        violation = float(sum(c.violation(metrics[c.name]) for c in self.constraints))
+        feasible = all(c.satisfied(metrics[c.name]) for c in self.constraints)
+        return EvaluatedDesign(x=x.copy(), metrics=dict(metrics), objective=objective,
+                               feasible=feasible, violation=violation)
+
+    def evaluate_batch(self, x) -> list[EvaluatedDesign]:
+        """Evaluate a batch of design vectors (rows of ``x``)."""
+        x = check_matrix(x, "x", n_cols=self.design_space.dim)
+        return [self.evaluate(row) for row in x]
+
+    def metrics_matrix(self, evaluations: list[EvaluatedDesign]) -> np.ndarray:
+        """Stack evaluations into an ``(n, n_metrics)`` matrix (metric order)."""
+        return np.array([[e.metrics[name] for name in self.metric_names]
+                         for e in evaluations], dtype=float)
+
+    def is_better(self, candidate: float, incumbent: float) -> bool:
+        """Compare objective values according to the optimisation direction."""
+        if self.minimize:
+            return candidate < incumbent
+        return candidate > incumbent
+
+    @property
+    def worst_objective(self) -> float:
+        """A sentinel objective value worse than any achievable one."""
+        return np.inf if self.minimize else -np.inf

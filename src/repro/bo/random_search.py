@@ -1,0 +1,28 @@
+"""Random search baseline (RS in the paper's Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.base import BaseOptimizer
+from repro.bo.problem import OptimizationProblem
+from repro.utils.random import RandomState
+
+
+class RandomSearch(BaseOptimizer):
+    """Uniform random sampling of the design space.
+
+    The paper uses RS for the FOM experiments and points out that it is not
+    applicable to the constrained setup (feasible designs are ~2.3% of random
+    samples); this class still works there, it just rarely finds feasible
+    points -- which is the behaviour the figures rely on.
+    """
+
+    name = "random_search"
+
+    def __init__(self, problem: OptimizationProblem, batch_size: int = 1,
+                 rng: RandomState = None):
+        super().__init__(problem, batch_size=batch_size, rng=rng)
+
+    def propose(self) -> np.ndarray:
+        return self.problem.design_space.sample_unit(self.batch_size, rng=self.rng)

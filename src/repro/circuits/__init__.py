@@ -1,0 +1,30 @@
+"""Circuit sizing problems: the paper's three evaluation testbenches.
+
+Each testbench builds a parametric netlist for :mod:`repro.spice`, runs DC
+operating-point, AC and (for the bandgap) temperature analyses, and exposes
+the result as a constrained :class:`repro.bo.OptimizationProblem`:
+
+* :class:`TwoStageOpAmp` -- Eq. 15: minimise ``I_total`` s.t. PM, GBW, Gain.
+* :class:`ThreeStageOpAmp` -- Eq. 16: same metrics, higher gain target.
+* :class:`BandgapReference` -- Eq. 17: minimise TC s.t. ``I_total``, PSRR.
+
+:class:`FOMProblem` wraps any of them into the unconstrained
+figure-of-merit objective of Eq. 2 for the Fig. 4 experiments.
+"""
+
+from repro.circuits.base import CircuitSizingProblem
+from repro.circuits.two_stage_opamp import TwoStageOpAmp
+from repro.circuits.three_stage_opamp import ThreeStageOpAmp
+from repro.circuits.bandgap import BandgapReference
+from repro.circuits.fom import FOMProblem
+from repro.circuits.registry import available_problems, make_problem
+
+__all__ = [
+    "CircuitSizingProblem",
+    "TwoStageOpAmp",
+    "ThreeStageOpAmp",
+    "BandgapReference",
+    "FOMProblem",
+    "make_problem",
+    "available_problems",
+]

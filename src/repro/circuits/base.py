@@ -1,0 +1,75 @@
+"""Shared infrastructure for the circuit sizing problems."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.design_space import DesignSpace
+from repro.bo.problem import Constraint, OptimizationProblem
+from repro.pdk import Technology, get_technology
+from repro.spice.ac import logspace_frequencies
+
+
+class CircuitSizingProblem(OptimizationProblem):
+    """Base class for testbench-backed sizing problems.
+
+    Subclasses build the netlist and extract metrics in :meth:`simulate`;
+    this class handles the technology card, the analysis frequency grid and
+    the "failed simulation" metric values (a design whose DC analysis does
+    not converge, or whose amplifier is effectively dead, must still return
+    a full metric dictionary -- with values that violate the constraints --
+    so the optimizers can learn from it).
+    """
+
+    def __init__(self, name: str, technology: str | Technology,
+                 design_space: DesignSpace, objective: str, minimize: bool,
+                 constraints: list[Constraint]):
+        if isinstance(technology, str):
+            technology = get_technology(technology)
+        self.technology = technology
+        super().__init__(name=f"{name}_{technology.name}", design_space=design_space,
+                         objective=objective, minimize=minimize, constraints=constraints)
+
+    # ------------------------------------------------------------------ #
+    # analysis helpers                                                    #
+    # ------------------------------------------------------------------ #
+    @property
+    def ac_frequencies(self) -> np.ndarray:
+        """Default AC grid: 10 mHz to 10 GHz, 10 points per decade.
+
+        The grid starts well below the dominant pole of even very-high-gain
+        designs so the measured low-frequency phase is a valid reference for
+        the phase-margin computation.
+        """
+        return logspace_frequencies(1e-2, 1e10, points_per_decade=10)
+
+    def failed_metrics(self) -> dict[str, float]:
+        """Metric values reported for designs whose simulation failed.
+
+        Subclasses override to provide problem-specific "very bad" values;
+        the default pessimises every metric relative to its constraint.
+        """
+        metrics: dict[str, float] = {}
+        large = 1e6
+        metrics[self.objective] = large if self.minimize else -large
+        for constraint in self.constraints:
+            if constraint.sense == "ge":
+                metrics[constraint.name] = constraint.threshold - large
+            else:
+                metrics[constraint.name] = constraint.threshold + large
+        return metrics
+
+    def describe(self) -> dict[str, object]:
+        """Summary used by reports and the experiment index."""
+        return {
+            "name": self.name,
+            "technology": self.technology.name,
+            "n_design_variables": self.design_space.dim,
+            "design_variables": self.design_space.names,
+            "objective": self.objective,
+            "minimize": self.minimize,
+            "constraints": [
+                f"{c.name} {'>=' if c.sense == 'ge' else '<='} {c.threshold}"
+                for c in self.constraints
+            ],
+        }

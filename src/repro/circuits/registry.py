@@ -1,0 +1,35 @@
+"""Factory for the evaluation problems by name and technology node."""
+
+from __future__ import annotations
+
+from repro.circuits.bandgap import BandgapReference
+from repro.circuits.base import CircuitSizingProblem
+from repro.circuits.three_stage_opamp import ThreeStageOpAmp
+from repro.circuits.two_stage_opamp import TwoStageOpAmp
+
+_PROBLEMS = {
+    "two_stage_opamp": TwoStageOpAmp,
+    "three_stage_opamp": ThreeStageOpAmp,
+    "bandgap": BandgapReference,
+}
+
+
+def available_problems() -> list[str]:
+    """Names accepted by :func:`make_problem`."""
+    return sorted(_PROBLEMS)
+
+
+def make_problem(name: str, technology: str = "180nm", **kwargs) -> CircuitSizingProblem:
+    """Instantiate one of the paper's evaluation circuits.
+
+    Parameters
+    ----------
+    name:
+        ``"two_stage_opamp"``, ``"three_stage_opamp"`` or ``"bandgap"``.
+    technology:
+        ``"180nm"`` or ``"40nm"``.
+    """
+    key = name.lower()
+    if key not in _PROBLEMS:
+        raise KeyError(f"unknown problem {name!r}; available: {available_problems()}")
+    return _PROBLEMS[key](technology=technology, **kwargs)

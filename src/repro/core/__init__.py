@@ -1,0 +1,27 @@
+"""KATO: the paper's contribution.
+
+* :class:`NeukGP` -- GP surrogates equipped with the Neural Kernel (section 3.1).
+* :class:`KATGP` -- Knowledge Alignment and Transfer GP: an encoder/decoder
+  wrapped around a frozen source GP, trained on target data and predicted
+  through the Delta method (section 3.2, Eq. 11-12).
+* :class:`SelectiveTransfer` -- the bandit weighting between KAT-GP and
+  target-only proposals (section 3.4, Eq. 14).
+* :class:`KATO` -- the full optimizer of Algorithm 1, built on the modified
+  constrained MACE acquisition (section 3.3, Eq. 13).
+"""
+
+from repro.core.neuk_gp import NeukGP, NeukMultiOutputGP, neural_kernel_factory
+from repro.core.kat_gp import KATGP, SourceModel
+from repro.core.selective_transfer import SelectiveTransfer
+from repro.core.kato import KATO, KATOConfig
+
+__all__ = [
+    "NeukGP",
+    "NeukMultiOutputGP",
+    "neural_kernel_factory",
+    "KATGP",
+    "SourceModel",
+    "SelectiveTransfer",
+    "KATO",
+    "KATOConfig",
+]

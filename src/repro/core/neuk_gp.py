@@ -1,0 +1,41 @@
+"""NeukGP: Gaussian processes equipped with the Neural Kernel.
+
+These are thin, named specialisations of :class:`repro.gp.GPRegression` /
+:class:`repro.gp.MultiOutputGP`; the paper refers to the target-only model of
+the selective-transfer scheme as "NeukGP", so the same name is used here.
+"""
+
+from __future__ import annotations
+
+from repro.gp import GPRegression, MultiOutputGP
+from repro.kernels import Kernel, NeuralKernel
+from repro.utils.random import RandomState, as_rng
+
+
+def neural_kernel_factory(rng: RandomState = None, **kwargs):
+    """Return a ``dim -> NeuralKernel`` factory suitable for the BO engines."""
+    rng = as_rng(rng)
+
+    def factory(input_dim: int) -> Kernel:
+        return NeuralKernel(input_dim, rng=rng, **kwargs)
+
+    return factory
+
+
+class NeukGP(GPRegression):
+    """Single-output GP regression with a Neural Kernel."""
+
+    def __init__(self, input_dim: int, noise: float = 1e-2,
+                 normalize_y: bool = True, rng: RandomState = None,
+                 **kernel_kwargs):
+        kernel = NeuralKernel(int(input_dim), rng=rng, **kernel_kwargs)
+        super().__init__(kernel=kernel, noise=noise, normalize_y=normalize_y)
+
+
+class NeukMultiOutputGP(MultiOutputGP):
+    """Independent multi-output GP whose every output uses a Neural Kernel."""
+
+    def __init__(self, noise: float = 1e-2, normalize_y: bool = True,
+                 rng: RandomState = None, **kernel_kwargs):
+        super().__init__(kernel_factory=neural_kernel_factory(rng=rng, **kernel_kwargs),
+                         noise=noise, normalize_y=normalize_y)

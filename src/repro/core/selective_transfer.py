@@ -1,0 +1,136 @@
+"""Selective Transfer Learning (STL), paper section 3.4 and Eq. 14.
+
+Transfer is not always helpful; STL hedges by maintaining a weight per
+proposal source (the KAT-GP transfer model and the target-only NeukGP) and
+splitting every simulation batch between them proportionally.  Weights start
+at the respective dataset sizes and each is incremented by the number of its
+proposals that improved the incumbent, so the scheme gracefully shifts the
+budget towards whichever model is actually producing better designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import RandomState, as_rng
+
+
+class SelectiveTransfer:
+    """Bandit-style weighting between two (or more) proposal sources.
+
+    Parameters
+    ----------
+    initial_weights:
+        Starting weights, one per proposal source; the paper initialises them
+        with the number of samples available to each model.
+    names:
+        Optional labels (used in reports).
+    """
+
+    def __init__(self, initial_weights, names: list[str] | None = None,
+                 rng: RandomState = None):
+        weights = np.asarray(initial_weights, dtype=float)
+        if weights.ndim != 1 or weights.shape[0] < 2:
+            raise ValueError("at least two proposal sources are required")
+        if np.any(weights <= 0):
+            raise ValueError("initial weights must be positive")
+        self.weights = weights.copy()
+        self.names = list(names) if names else [f"model_{i}" for i in range(weights.shape[0])]
+        if len(self.names) != weights.shape[0]:
+            raise ValueError("names must match the number of weights")
+        self.rng = as_rng(rng)
+        self.history: list[np.ndarray] = [self.weights.copy()]
+
+    @property
+    def n_sources(self) -> int:
+        return self.weights.shape[0]
+
+    def probabilities(self) -> np.ndarray:
+        """Current normalised selection probabilities."""
+        return self.weights / self.weights.sum()
+
+    # ------------------------------------------------------------------ #
+    # batch splitting                                                     #
+    # ------------------------------------------------------------------ #
+    def allocate(self, batch_size: int) -> np.ndarray:
+        """Split ``batch_size`` simulations between the sources (Eq. 14 ratio).
+
+        Every source with non-zero probability gets its proportional share;
+        rounding leftovers go to the highest-weight sources, and each source
+        is guaranteed at least one slot when the batch is large enough
+        (so a temporarily-losing model can still recover).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        probabilities = self.probabilities()
+        counts = np.floor(probabilities * batch_size).astype(int)
+        if batch_size >= self.n_sources:
+            counts = np.maximum(counts, 1)
+        while counts.sum() > batch_size:
+            counts[int(np.argmax(counts))] -= 1
+        order = np.argsort(-probabilities)
+        index = 0
+        while counts.sum() < batch_size:
+            counts[order[index % self.n_sources]] += 1
+            index += 1
+        return counts
+
+    def select_from(self, proposal_sets: list[np.ndarray], batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw the batch from per-source Pareto sets according to the weights.
+
+        Returns ``(designs, source_labels)`` where ``source_labels[i]`` is the
+        index of the proposal source that produced design ``i``.
+        """
+        if len(proposal_sets) != self.n_sources:
+            raise ValueError(
+                f"expected {self.n_sources} proposal sets, got {len(proposal_sets)}")
+        counts = self.allocate(batch_size)
+        chosen: list[np.ndarray] = []
+        labels: list[int] = []
+        for source_index, (count, proposals) in enumerate(zip(counts, proposal_sets)):
+            if count == 0:
+                continue
+            proposals = np.atleast_2d(np.asarray(proposals, dtype=float))
+            n_available = proposals.shape[0]
+            if n_available == 0:
+                continue
+            replace = n_available < count
+            picks = self.rng.choice(n_available, size=count, replace=replace)
+            chosen.append(proposals[picks])
+            labels.extend([source_index] * count)
+        designs = np.vstack(chosen) if chosen else np.empty((0, 0))
+        return designs, np.asarray(labels, dtype=int)
+
+    # ------------------------------------------------------------------ #
+    # weight update (Eq. 14)                                              #
+    # ------------------------------------------------------------------ #
+    def update(self, improvements: np.ndarray) -> None:
+        """Add the per-source improvement counts to the weights."""
+        improvements = np.asarray(improvements, dtype=float)
+        if improvements.shape != self.weights.shape:
+            raise ValueError(
+                f"improvements must have shape {self.weights.shape}, got {improvements.shape}")
+        if np.any(improvements < 0):
+            raise ValueError("improvement counts cannot be negative")
+        self.weights = self.weights + improvements
+        self.history.append(self.weights.copy())
+
+    def update_from_evaluations(self, labels: np.ndarray, objectives: np.ndarray,
+                                incumbent: float, minimize: bool) -> np.ndarray:
+        """Count how many new evaluations of each source beat ``incumbent`` and update.
+
+        Returns the improvement counts (useful for logging).
+        """
+        labels = np.asarray(labels, dtype=int)
+        objectives = np.asarray(objectives, dtype=float)
+        improvements = np.zeros(self.n_sources)
+        for source_index in range(self.n_sources):
+            values = objectives[labels == source_index]
+            if values.size == 0:
+                continue
+            if minimize:
+                improvements[source_index] = float(np.count_nonzero(values < incumbent))
+            else:
+                improvements[source_index] = float(np.count_nonzero(values > incumbent))
+        self.update(improvements)
+        return improvements

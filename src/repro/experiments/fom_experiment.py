@@ -1,0 +1,48 @@
+"""Experiment E2 (paper Fig. 4): FOM optimization on the 180 nm circuits.
+
+Random search, SMAC-RF, MACE and KATO maximise the Eq.-2 figure of merit on
+the two-stage OpAmp, three-stage OpAmp and bandgap, starting from 10 random
+simulations.  The output is the best-FOM-versus-simulation-budget curve per
+method, averaged over seeds -- the quantity plotted in Fig. 4(a-c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import FOMProblem, make_problem
+from repro.experiments.runner import build_fom_optimizer, run_repeated
+
+DEFAULT_METHODS = ("rs", "smac_rf", "mace", "kato")
+
+
+def run_fom_experiment(circuit: str = "two_stage_opamp", technology: str = "180nm",
+                       methods=DEFAULT_METHODS, n_simulations: int = 60,
+                       n_init: int = 10, n_seeds: int = 3, seed: int = 0,
+                       n_normalization_samples: int = 100,
+                       quick: bool = True) -> dict[str, dict[str, object]]:
+    """Run Fig. 4 for one circuit; returns ``{method: run_repeated(...) result}``."""
+    # A single FOM normalisation is shared across methods and seeds so all
+    # curves are on the same scale (as in the paper).
+    norm_problem = FOMProblem(make_problem(circuit, technology),
+                              n_normalization_samples=n_normalization_samples, rng=seed)
+    normalization = norm_problem.normalization
+
+    def problem_factory():
+        return FOMProblem(make_problem(circuit, technology), normalization=normalization)
+
+    results: dict[str, dict[str, object]] = {}
+    for method in methods:
+        def optimizer_factory(problem, rng, method=method):
+            return build_fom_optimizer(method, problem, rng, quick=quick)
+
+        results[method] = run_repeated(problem_factory, optimizer_factory,
+                                       n_simulations=n_simulations, n_init=n_init,
+                                       n_seeds=n_seeds, seed=seed, constrained=False)
+    return results
+
+
+def fom_summary(results: dict[str, dict[str, object]]) -> dict[str, float]:
+    """Final mean best-FOM per method (the right-hand edge of Fig. 4)."""
+    return {method: float(result["summary"]["mean"][-1])
+            for method, result in results.items()}

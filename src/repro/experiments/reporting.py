@@ -1,0 +1,93 @@
+"""Report formatting and the headline speedup/improvement ratios (E11)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_table(rows: dict[str, dict[str, float]], title: str = "",
+                 float_format: str = "{:.2f}") -> str:
+    """Render ``{row_name: {column: value}}`` as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)"
+    columns: list[str] = []
+    for row in rows.values():
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    header = ["method", *columns]
+    widths = [max(len(header[0]), *(len(str(r)) for r in rows))]
+    body: list[list[str]] = []
+    for name, row in rows.items():
+        cells = [str(name)]
+        for column in columns:
+            value = row.get(column, float("nan"))
+            if isinstance(value, (int, float, np.floating)):
+                cells.append(float_format.format(float(value)))
+            else:
+                cells.append(str(value))
+        body.append(cells)
+    for index in range(1, len(header)):
+        column_cells = [header[index]] + [row[index] for row in body]
+        widths.append(max(len(cell) for cell in column_cells))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def curves_to_rows(results: dict[str, dict[str, object]],
+                   budgets: list[int] | None = None) -> dict[str, dict[str, float]]:
+    """Convert per-method curve summaries into table rows at selected budgets."""
+    rows: dict[str, dict[str, float]] = {}
+    for method, result in results.items():
+        mean_curve = np.asarray(result["summary"]["mean"])
+        points = budgets or [len(mean_curve) // 2, len(mean_curve)]
+        row = {}
+        for budget in points:
+            index = min(max(int(budget), 1), len(mean_curve)) - 1
+            row[f"best@{index + 1}"] = float(mean_curve[index])
+        rows[method] = row
+    return rows
+
+
+def improvement_ratio(candidate_best: float, reference_best: float,
+                      minimize: bool) -> float:
+    """How much better the candidate's final value is than the reference's.
+
+    A ratio above 1 means the candidate found a better design (the paper's
+    "1.2x design improvement" metric).
+    """
+    if minimize:
+        if abs(candidate_best) < 1e-30:
+            return float("inf")
+        return float(reference_best / candidate_best)
+    if abs(reference_best) < 1e-30:
+        return float("inf")
+    return float(candidate_best / reference_best)
+
+
+def speedup_ratio(candidate_curve, reference_curve, minimize: bool) -> float:
+    """Simulation-count speedup to reach the reference method's final value.
+
+    Defined as in the paper: (simulations the reference needed) divided by
+    (simulations the candidate needed to reach the reference's best value).
+    Returns ``inf`` when the candidate never reaches it, and 1.0 when both
+    need their full budgets.
+    """
+    candidate_curve = np.asarray(candidate_curve, dtype=float)
+    reference_curve = np.asarray(reference_curve, dtype=float)
+    target = reference_curve[-1]
+    if minimize:
+        hits = np.nonzero(candidate_curve <= target)[0]
+    else:
+        hits = np.nonzero(candidate_curve >= target)[0]
+    if hits.size == 0:
+        return 0.0
+    candidate_cost = int(hits[0]) + 1
+    reference_cost = len(reference_curve)
+    return float(reference_cost / candidate_cost)

@@ -1,0 +1,128 @@
+"""Shared experiment plumbing: optimizer factories and repeated runs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import MESMOC, TLMBO, USeMOC
+from repro.bo import ConstrainedMACE, MACE, OptimizationHistory, RandomSearch, SMACRF
+from repro.bo.problem import OptimizationProblem
+from repro.circuits import FOMProblem, make_problem
+from repro.core import KATO, KATOConfig, SourceModel
+from repro.utils.random import spawn_rngs
+from repro.utils.stats import summarize_runs
+
+
+def make_source_model(circuit: str, technology: str, n_samples: int = 200,
+                      seed: int = 0, train_iters: int = 60,
+                      fom: bool = False) -> SourceModel:
+    """Build a frozen source model from random simulations of a source circuit.
+
+    This mirrors the paper's transfer setup ("each experiment provides 200
+    random samples for the source data").  With ``fom=True`` the source
+    outputs are the scalar FOM instead of the raw metric vector.
+    """
+    problem = make_problem(circuit, technology)
+    if fom:
+        problem = FOMProblem(problem, n_normalization_samples=min(100, n_samples), rng=seed)
+    rng = np.random.default_rng(seed)
+    designs = problem.design_space.sample(n_samples, rng=rng)
+    evaluations = problem.evaluate_batch(designs)
+    x_unit = problem.design_space.to_unit(np.array([e.x for e in evaluations]))
+    if fom:
+        y = np.array([[e.metrics["fom"]] for e in evaluations])
+        names = ["fom"]
+    else:
+        y = problem.metrics_matrix(evaluations)
+        names = problem.metric_names
+    return SourceModel(x_unit, y, metric_names=names, train_iters=train_iters)
+
+
+def _kato_config(quick: bool) -> KATOConfig:
+    if quick:
+        return KATOConfig(batch_size=4, surrogate_train_iters=20, kat_train_iters=60,
+                          pop_size=32, n_generations=10)
+    return KATOConfig()
+
+
+def build_fom_optimizer(name: str, problem: OptimizationProblem, rng,
+                        source: SourceModel | None = None,
+                        source_data: tuple[np.ndarray, np.ndarray] | None = None,
+                        quick: bool = True):
+    """Factory for the FOM (unconstrained) experiment methods of Fig. 4 / 6a-b."""
+    key = name.lower()
+    if key in ("rs", "random", "random_search"):
+        return RandomSearch(problem, batch_size=4, rng=rng)
+    if key in ("smac", "smac_rf", "smac-rf"):
+        return SMACRF(problem, batch_size=4, rng=rng)
+    if key == "mace":
+        iters = 20 if quick else 50
+        return MACE(problem, batch_size=4, rng=rng, surrogate_train_iters=iters,
+                    pop_size=32 if quick else 64, n_generations=10 if quick else 30)
+    if key == "kato":
+        return KATO(problem, source=None, config=_kato_config(quick), rng=rng)
+    if key in ("kato_tl", "kato-tl"):
+        return KATO(problem, source=source, config=_kato_config(quick), rng=rng)
+    if key == "tlmbo":
+        if source_data is None:
+            raise ValueError("TLMBO requires source_data=(x_unit, y)")
+        return TLMBO(problem, source_x=source_data[0], source_y=source_data[1],
+                     batch_size=4, rng=rng)
+    raise ValueError(f"unknown FOM method {name!r}")
+
+
+def build_constrained_optimizer(name: str, problem: OptimizationProblem, rng,
+                                source: SourceModel | None = None,
+                                quick: bool = True):
+    """Factory for the constrained experiment methods of Fig. 5 / 6 and the tables."""
+    key = name.lower()
+    iters = 20 if quick else 50
+    pop = 32 if quick else 64
+    gens = 10 if quick else 30
+    if key == "mesmoc":
+        return MESMOC(problem, batch_size=4, rng=rng, surrogate_train_iters=iters)
+    if key == "usemoc":
+        return USeMOC(problem, batch_size=4, rng=rng, surrogate_train_iters=iters,
+                      pop_size=pop, n_generations=gens)
+    if key == "mace":
+        return ConstrainedMACE(problem, batch_size=4, rng=rng, variant="full",
+                               surrogate_train_iters=iters, pop_size=pop,
+                               n_generations=gens)
+    if key == "mace_modified":
+        return ConstrainedMACE(problem, batch_size=4, rng=rng, variant="modified",
+                               surrogate_train_iters=iters, pop_size=pop,
+                               n_generations=gens)
+    if key == "kato":
+        return KATO(problem, source=None, config=_kato_config(quick), rng=rng)
+    if key in ("kato_tl", "kato-tl"):
+        return KATO(problem, source=source, config=_kato_config(quick), rng=rng)
+    raise ValueError(f"unknown constrained method {name!r}")
+
+
+def run_repeated(problem_factory: Callable[[], OptimizationProblem],
+                 optimizer_factory: Callable[[OptimizationProblem, object], object],
+                 n_simulations: int, n_init: int, n_seeds: int = 3,
+                 seed: int = 0, constrained: bool = True) -> dict[str, object]:
+    """Run one method over several seeds and aggregate the best-so-far curves.
+
+    Returns a dictionary with the per-seed curves, their summary statistics
+    and the final histories (for table extraction).
+    """
+    curves: list[np.ndarray] = []
+    histories: list[OptimizationHistory] = []
+    for run_rng in spawn_rngs(seed, n_seeds):
+        problem = problem_factory()
+        optimizer = optimizer_factory(problem, run_rng)
+        history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
+        curve = history.best_curve(constrained=constrained)
+        curves.append(curve)
+        histories.append(history)
+    length = min(len(c) for c in curves)
+    curves = [c[:length] for c in curves]
+    return {
+        "curves": np.asarray(curves),
+        "summary": summarize_runs(curves),
+        "histories": histories,
+    }

@@ -1,0 +1,90 @@
+"""Experiments E4 and E8 (paper Tables 1 and 2): best-design metric tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import evaluate_expert
+from repro.circuits import make_problem
+from repro.experiments.runner import (
+    build_constrained_optimizer,
+    make_source_model,
+)
+from repro.utils.random import spawn_rngs
+
+TABLE1_CIRCUITS = ("two_stage_opamp", "three_stage_opamp", "bandgap")
+TABLE1_METHODS = ("mesmoc", "usemoc", "mace", "kato")
+
+TABLE2_CIRCUITS = ("two_stage_opamp", "three_stage_opamp")
+TABLE2_VARIANTS = ("kato", "kato_tl_node", "kato_tl_design", "kato_tl_both")
+
+
+def _best_metrics(problem, history) -> dict[str, float]:
+    best = history.best(constrained=True)
+    if best is None:
+        return {name: float("nan") for name in problem.metric_names}
+    return {name: float(best.metrics[name]) for name in problem.metric_names}
+
+
+def run_table1(circuits=TABLE1_CIRCUITS, methods=TABLE1_METHODS,
+               technology: str = "180nm", n_simulations: int = 70,
+               n_init: int = 40, seed: int = 0,
+               quick: bool = True) -> dict[str, dict[str, dict[str, float]]]:
+    """Best constrained designs per circuit and method (paper Table 1).
+
+    Returns ``{circuit: {method: {metric: value}}}`` including a
+    ``human_expert`` row per circuit.
+    """
+    table: dict[str, dict[str, dict[str, float]]] = {}
+    for circuit in circuits:
+        problem = make_problem(circuit, technology)
+        rows: dict[str, dict[str, float]] = {}
+        expert = evaluate_expert(problem)
+        rows["human_expert"] = {name: float(expert.metrics[name])
+                                for name in problem.metric_names}
+        for method, rng in zip(methods, spawn_rngs(seed, len(methods))):
+            run_problem = make_problem(circuit, technology)
+            optimizer = build_constrained_optimizer(method, run_problem, rng, quick=quick)
+            history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
+            rows[method] = _best_metrics(run_problem, history)
+        table[circuit] = rows
+    return table
+
+
+def _table2_source(variant: str, circuit: str, n_source: int, seed: int):
+    """Source model for each Table 2 transfer variant."""
+    other = ("three_stage_opamp" if circuit == "two_stage_opamp"
+             else "two_stage_opamp")
+    if variant == "kato":
+        return None
+    if variant == "kato_tl_node":
+        return make_source_model(circuit, "180nm", n_samples=n_source, seed=seed)
+    if variant == "kato_tl_design":
+        return make_source_model(other, "40nm", n_samples=n_source, seed=seed)
+    if variant == "kato_tl_both":
+        return make_source_model(other, "180nm", n_samples=n_source, seed=seed)
+    raise ValueError(f"unknown Table 2 variant {variant!r}")
+
+
+def run_table2(circuits=TABLE2_CIRCUITS, variants=TABLE2_VARIANTS,
+               n_simulations: int = 60, n_init: int = 30,
+               n_source_samples: int = 80, seed: int = 0,
+               quick: bool = True) -> dict[str, dict[str, dict[str, float]]]:
+    """Best constrained 40 nm designs for the KATO transfer variants (Table 2)."""
+    table: dict[str, dict[str, dict[str, float]]] = {}
+    for circuit in circuits:
+        problem = make_problem(circuit, "40nm")
+        rows: dict[str, dict[str, float]] = {}
+        expert = evaluate_expert(problem)
+        rows["human_expert"] = {name: float(expert.metrics[name])
+                                for name in problem.metric_names}
+        for variant, rng in zip(variants, spawn_rngs(seed, len(variants))):
+            source = _table2_source(variant, circuit, n_source_samples, seed)
+            run_problem = make_problem(circuit, "40nm")
+            method = "kato" if source is None else "kato_tl"
+            optimizer = build_constrained_optimizer(method, run_problem, rng,
+                                                    source=source, quick=quick)
+            history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
+            rows[variant] = _best_metrics(run_problem, history)
+        table[circuit] = rows
+    return table

@@ -1,0 +1,103 @@
+"""Experiments E5-E7 (paper Fig. 6): transfer learning across nodes and designs.
+
+The six panels of Fig. 6 are all instances of one experiment shape: build a
+source model from random simulations of a source circuit (a different
+technology node, a different topology, or both), then compare KATO with and
+without transfer on the target circuit.  TLMBO joins the comparison whenever
+the source and target design spaces match (technology-only transfer), which
+is the only setting it supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import FOMProblem, make_problem
+from repro.core import SourceModel
+from repro.experiments.runner import (
+    build_constrained_optimizer,
+    build_fom_optimizer,
+    make_source_model,
+    run_repeated,
+)
+
+#: (source_circuit, source_tech, target_circuit, target_tech) per Fig. 6 panel.
+FIG6_PANELS = {
+    "a": ("two_stage_opamp", "180nm", "two_stage_opamp", "40nm"),
+    "b": ("three_stage_opamp", "180nm", "three_stage_opamp", "40nm"),
+    "c": ("three_stage_opamp", "40nm", "two_stage_opamp", "40nm"),
+    "d": ("two_stage_opamp", "40nm", "three_stage_opamp", "40nm"),
+    "e": ("three_stage_opamp", "180nm", "two_stage_opamp", "40nm"),
+    "f": ("two_stage_opamp", "180nm", "three_stage_opamp", "40nm"),
+}
+
+
+def run_transfer_experiment(source_circuit: str, source_technology: str,
+                            target_circuit: str, target_technology: str,
+                            constrained: bool = True,
+                            n_source_samples: int = 100,
+                            n_simulations: int = 60, n_init: int = 30,
+                            n_seeds: int = 2, seed: int = 0,
+                            include_tlmbo: bool | None = None,
+                            quick: bool = True) -> dict[str, dict[str, object]]:
+    """One Fig. 6 panel: KATO vs KATO(TL) (vs TLMBO when applicable)."""
+    source = make_source_model(source_circuit, source_technology,
+                               n_samples=n_source_samples, seed=seed)
+    same_space = (source_circuit == target_circuit)
+    if include_tlmbo is None:
+        include_tlmbo = same_space and not constrained
+
+    if constrained:
+        def problem_factory():
+            return make_problem(target_circuit, target_technology)
+    else:
+        norm_problem = FOMProblem(make_problem(target_circuit, target_technology),
+                                  n_normalization_samples=60, rng=seed)
+        normalization = norm_problem.normalization
+
+        def problem_factory():
+            return FOMProblem(make_problem(target_circuit, target_technology),
+                              normalization=normalization)
+
+    methods: dict[str, object] = {}
+
+    def kato_factory(problem, rng):
+        builder = build_constrained_optimizer if constrained else build_fom_optimizer
+        return builder("kato", problem, rng, quick=quick)
+
+    def kato_tl_factory(problem, rng):
+        builder = build_constrained_optimizer if constrained else build_fom_optimizer
+        return builder("kato_tl", problem, rng, source=source, quick=quick)
+
+    methods["kato"] = kato_factory
+    methods["kato_tl"] = kato_tl_factory
+
+    if include_tlmbo and same_space:
+        source_fom = make_source_model(source_circuit, source_technology,
+                                       n_samples=n_source_samples, seed=seed + 1,
+                                       fom=True)
+        source_data = (source_fom.x, source_fom.y[:, 0])
+
+        def tlmbo_factory(problem, rng):
+            return build_fom_optimizer("tlmbo", problem, rng,
+                                       source_data=source_data, quick=quick)
+
+        methods["tlmbo"] = tlmbo_factory
+
+    results: dict[str, dict[str, object]] = {}
+    for name, factory in methods.items():
+        results[name] = run_repeated(problem_factory, factory,
+                                     n_simulations=n_simulations, n_init=n_init,
+                                     n_seeds=n_seeds, seed=seed,
+                                     constrained=constrained)
+    return results
+
+
+def run_fig6_panel(panel: str, **kwargs) -> dict[str, dict[str, object]]:
+    """Run one named panel of Fig. 6 (``"a"`` .. ``"f"``)."""
+    key = panel.lower()
+    if key not in FIG6_PANELS:
+        raise KeyError(f"unknown Fig. 6 panel {panel!r}; available: {sorted(FIG6_PANELS)}")
+    source_circuit, source_tech, target_circuit, target_tech = FIG6_PANELS[key]
+    return run_transfer_experiment(source_circuit, source_tech,
+                                   target_circuit, target_tech, **kwargs)

@@ -1,0 +1,6 @@
+"""Exact Gaussian-process regression trained by marginal-likelihood maximisation."""
+
+from repro.gp.gpr import GPRegression
+from repro.gp.multioutput import MultiOutputGP
+
+__all__ = ["GPRegression", "MultiOutputGP"]

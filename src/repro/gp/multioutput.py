@@ -1,0 +1,94 @@
+"""Independent multi-output GP used for constrained transistor sizing.
+
+Constrained BO needs a surrogate per performance metric (objective plus every
+constraint).  Following standard MACE-style practice the metrics are modelled
+by independent single-output GPs that share the input data; KAT-GP later
+consumes the *vector* of per-metric predictions of a source model of this
+type.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.autodiff.functional import as_tensor, stack
+from repro.errors import NotFittedError
+from repro.gp.gpr import GPRegression
+from repro.kernels import Kernel
+from repro.nn.module import Module
+from repro.utils.validation import check_matrix
+
+
+class MultiOutputGP(Module):
+    """A collection of independent :class:`GPRegression` models, one per output.
+
+    Parameters
+    ----------
+    kernel_factory:
+        Callable ``(input_dim) -> Kernel`` used to create a fresh kernel per
+        output; defaults to ARD RBF.
+    """
+
+    def __init__(self, kernel_factory: Callable[[int], Kernel] | None = None,
+                 noise: float = 1e-2, normalize_y: bool = True):
+        self.kernel_factory = kernel_factory
+        self.noise = float(noise)
+        self.normalize_y = bool(normalize_y)
+        self.models: list[GPRegression] = []
+        self.n_outputs_: int | None = None
+        self.input_dim_: int | None = None
+
+    def _require_fitted(self) -> None:
+        if not self.models:
+            raise NotFittedError("MultiOutputGP must be fitted before prediction")
+
+    def fit(self, x, y, n_iters: int = 80, lr: float = 0.05,
+            optimize: bool = True) -> "MultiOutputGP":
+        """Fit one GP per column of ``y`` (shape ``(n, n_outputs)``)."""
+        x = check_matrix(x, "x")
+        y = check_matrix(y, "y")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        self.n_outputs_ = y.shape[1]
+        self.input_dim_ = x.shape[1]
+        self.models = []
+        for output_index in range(self.n_outputs_):
+            kernel = None
+            if self.kernel_factory is not None:
+                kernel = self.kernel_factory(x.shape[1])
+            model = GPRegression(kernel=kernel, noise=self.noise,
+                                 normalize_y=self.normalize_y)
+            model.fit(x, y[:, output_index], n_iters=n_iters, lr=lr,
+                      optimize=optimize)
+            self.models.append(model)
+        return self
+
+    def predict(self, x) -> tuple[np.ndarray, np.ndarray]:
+        """Mean and variance per output: both shaped ``(m, n_outputs)``."""
+        self._require_fitted()
+        means, variances = [], []
+        for model in self.models:
+            mean, var = model.predict(x)
+            means.append(mean)
+            variances.append(var)
+        return np.column_stack(means), np.column_stack(variances)
+
+    def predict_tensor(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Differentiable mean and variance, both shaped ``(m, n_outputs)``."""
+        self._require_fitted()
+        x = as_tensor(x)
+        means, variances = [], []
+        for model in self.models:
+            mean, var = model.predict_tensor(x)
+            means.append(mean)
+            variances.append(var)
+        return stack(means, axis=1), stack(variances, axis=1)
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def __getitem__(self, index: int) -> GPRegression:
+        return self.models[index]

@@ -1,0 +1,158 @@
+"""Classic stationary (and one dot-product) kernels with ARD lengthscales."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.autodiff.functional import as_tensor, pairwise_sqdist
+from repro.kernels.base import Kernel, _log
+from repro.nn.module import Parameter
+
+
+class _ARDKernel(Kernel):
+    """Shared machinery for kernels with per-dimension lengthscales."""
+
+    def __init__(self, input_dim: int, lengthscale: float = 1.0,
+                 outputscale: float = 1.0):
+        super().__init__(input_dim)
+        self.raw_lengthscale = Parameter(
+            np.full(input_dim, _log(lengthscale)), name="raw_lengthscale")
+        self.raw_outputscale = Parameter([_log(outputscale)], name="raw_outputscale")
+
+    @property
+    def lengthscale(self) -> np.ndarray:
+        return np.exp(self.raw_lengthscale.data)
+
+    @property
+    def outputscale(self) -> float:
+        return float(np.exp(self.raw_outputscale.data[0]))
+
+    def _scaled(self, x: Tensor) -> Tensor:
+        """Divide every input dimension by its lengthscale (ARD scaling)."""
+        inv = (self.raw_lengthscale * -1.0).exp()
+        return as_tensor(x) * inv
+
+    def _sqdist(self, x1, x2) -> Tensor:
+        return pairwise_sqdist(self._scaled(x1), self._scaled(x2))
+
+
+class RBFKernel(_ARDKernel):
+    """Squared-exponential / ARD kernel, the paper's Eq. for ``k(x, x'|theta)``."""
+
+    def forward(self, x1, x2) -> Tensor:
+        return (self._sqdist(x1, x2) * -0.5).exp() * self.raw_outputscale.exp()
+
+
+class RationalQuadraticKernel(_ARDKernel):
+    """Rational quadratic kernel, a scale mixture of RBF kernels."""
+
+    def __init__(self, input_dim: int, lengthscale: float = 1.0,
+                 outputscale: float = 1.0, alpha: float = 1.0):
+        super().__init__(input_dim, lengthscale, outputscale)
+        self.raw_alpha = Parameter([_log(alpha)], name="raw_alpha")
+
+    @property
+    def alpha(self) -> float:
+        return float(np.exp(self.raw_alpha.data[0]))
+
+    def forward(self, x1, x2) -> Tensor:
+        alpha = self.raw_alpha.exp()
+        sqdist = self._sqdist(x1, x2)
+        inner = sqdist * 0.5 / alpha + 1.0
+        # inner^(-alpha) computed via exp(-alpha * log(inner)) so alpha stays trainable.
+        log_inner = inner.log()
+        return (log_inner * (alpha * -1.0)).exp() * self.raw_outputscale.exp()
+
+
+class PeriodicKernel(_ARDKernel):
+    """Exponential-sine-squared (periodic) kernel with a trainable period."""
+
+    def __init__(self, input_dim: int, lengthscale: float = 1.0,
+                 outputscale: float = 1.0, period: float = 1.0):
+        super().__init__(input_dim, lengthscale, outputscale)
+        self.raw_period = Parameter([_log(period)], name="raw_period")
+
+    @property
+    def period(self) -> float:
+        return float(np.exp(self.raw_period.data[0]))
+
+    def forward(self, x1, x2) -> Tensor:
+        # Standard ARD periodic (exp-sine-squared) kernel,
+        #   k = s^2 exp(-2 sum_d sin^2(pi (x_d - x'_d) / p) / l_d^2),
+        # which is positive semi-definite for any input dimension.  ``sin`` is
+        # not a tensor primitive, so sin^2 uses a custom backward rule.
+        x1 = as_tensor(x1)
+        x2 = as_tensor(x2)
+        n, d = x1.shape
+        m = x2.shape[0]
+        diff = x1.reshape(n, 1, d) - x2.reshape(1, m, d)
+        period = self.raw_period.exp()
+        sin_sq = _sin_squared(diff * (np.pi) / period)            # (n, m, d)
+        inv_sq_ls = (self.raw_lengthscale * -2.0).exp()            # (d,)
+        weighted = (sin_sq * inv_sq_ls).sum(axis=2)                # (n, m)
+        return (weighted * -2.0).exp() * self.raw_outputscale.exp()
+
+
+def _sin_squared(t: Tensor) -> Tensor:
+    """``sin(t)^2`` with a custom backward (d/dt sin^2 t = sin 2t)."""
+    data = np.sin(t.data) ** 2
+
+    def backward(upstream: np.ndarray) -> None:
+        t._accumulate(upstream * np.sin(2.0 * t.data))
+
+    return t._make(data, (t,), backward)
+
+
+class _MaternKernel(_ARDKernel):
+    """Shared Matern implementation parameterised by ``nu``."""
+
+    nu: float = 1.5
+
+    def forward(self, x1, x2) -> Tensor:
+        distance = self._sqdist(x1, x2).clip_min(1e-24).sqrt()
+        scale = self.raw_outputscale.exp()
+        if self.nu == 0.5:
+            return (distance * -1.0).exp() * scale
+        if self.nu == 1.5:
+            root3 = float(np.sqrt(3.0))
+            poly = distance * root3 + 1.0
+            return poly * (distance * -root3).exp() * scale
+        if self.nu == 2.5:
+            root5 = float(np.sqrt(5.0))
+            poly = distance * root5 + (distance * distance) * (5.0 / 3.0) + 1.0
+            return poly * (distance * -root5).exp() * scale
+        raise ValueError(f"unsupported Matern nu={self.nu}")
+
+
+class Matern12Kernel(_MaternKernel):
+    """Matern kernel with ``nu = 1/2`` (exponential kernel)."""
+    nu = 0.5
+
+
+class Matern32Kernel(_MaternKernel):
+    """Matern kernel with ``nu = 3/2``."""
+    nu = 1.5
+
+
+class Matern52Kernel(_MaternKernel):
+    """Matern kernel with ``nu = 5/2``."""
+    nu = 2.5
+
+
+class LinearKernel(Kernel):
+    """Dot-product kernel ``sigma_b^2 + sigma_v^2 x . x'``."""
+
+    def __init__(self, input_dim: int, variance: float = 1.0, bias: float = 1e-2):
+        super().__init__(input_dim)
+        self.raw_variance = Parameter([_log(variance)], name="raw_variance")
+        self.raw_bias = Parameter([_log(bias)], name="raw_bias")
+
+    @property
+    def variance(self) -> float:
+        return float(np.exp(self.raw_variance.data[0]))
+
+    def forward(self, x1, x2) -> Tensor:
+        x1 = as_tensor(x1)
+        x2 = as_tensor(x2)
+        return (x1 @ x2.transpose()) * self.raw_variance.exp() + self.raw_bias.exp()

@@ -1,0 +1,213 @@
+"""NSGA-II genetic multi-objective optimizer.
+
+MACE (and KATO's modified constrained MACE) search the Pareto front of the
+acquisition objectives with NSGA-II (paper section 3.3).  This is a standard
+implementation with simulated binary crossover (SBX), polynomial mutation,
+binary tournament selection on (rank, crowding distance) and elitist
+environmental selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.moo.pareto import crowding_distance, fast_non_dominated_sort
+from repro.utils.random import RandomState, as_rng
+from repro.utils.validation import check_matrix
+
+
+@dataclass
+class NSGA2Result:
+    """Result of one NSGA-II run.
+
+    Attributes
+    ----------
+    x:
+        Final population decision variables, ``(pop_size, d)``.
+    objectives:
+        Final population objective values, ``(pop_size, k)``.
+    pareto_x / pareto_objectives:
+        The non-dominated subset of the final population.
+    n_generations:
+        Number of generations actually run.
+    """
+
+    x: np.ndarray
+    objectives: np.ndarray
+    pareto_x: np.ndarray
+    pareto_objectives: np.ndarray
+    n_generations: int
+
+
+class NSGA2:
+    """NSGA-II for box-constrained multi-objective minimisation.
+
+    Parameters
+    ----------
+    pop_size:
+        Population size (kept even internally).
+    n_generations:
+        Number of generations.
+    crossover_prob / crossover_eta:
+        SBX probability and distribution index.
+    mutation_prob / mutation_eta:
+        Per-gene polynomial-mutation probability (defaults to ``1/d``) and
+        distribution index.
+    """
+
+    def __init__(self, pop_size: int = 64, n_generations: int = 40,
+                 crossover_prob: float = 0.9, crossover_eta: float = 15.0,
+                 mutation_prob: float | None = None, mutation_eta: float = 20.0,
+                 rng: RandomState = None):
+        if pop_size < 4:
+            raise ValueError("pop_size must be at least 4")
+        self.pop_size = int(pop_size) + (int(pop_size) % 2)
+        self.n_generations = int(n_generations)
+        self.crossover_prob = float(crossover_prob)
+        self.crossover_eta = float(crossover_eta)
+        self.mutation_prob = mutation_prob
+        self.mutation_eta = float(mutation_eta)
+        self.rng = as_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    # public API                                                          #
+    # ------------------------------------------------------------------ #
+    def minimize(self, objective_fn: Callable[[np.ndarray], np.ndarray],
+                 bounds, initial_population: np.ndarray | None = None) -> NSGA2Result:
+        """Minimise a vector objective over a box.
+
+        Parameters
+        ----------
+        objective_fn:
+            Vectorised callable mapping ``(n, d)`` decision matrices to
+            ``(n, k)`` objective matrices (minimisation).
+        bounds:
+            ``(d, 2)`` lower/upper bounds.
+        initial_population:
+            Optional seed individuals (clipped to bounds); the rest of the
+            population is sampled uniformly.
+        """
+        bounds = check_matrix(bounds, "bounds", n_cols=2)
+        dim = bounds.shape[0]
+        lower, upper = bounds[:, 0], bounds[:, 1]
+        if np.any(upper < lower):
+            raise ValueError("upper bounds must not be below lower bounds")
+        mutation_prob = self.mutation_prob if self.mutation_prob is not None else 1.0 / dim
+
+        population = self.rng.uniform(lower, upper, size=(self.pop_size, dim))
+        if initial_population is not None:
+            seed = check_matrix(initial_population, "initial_population", n_cols=dim)
+            count = min(seed.shape[0], self.pop_size)
+            population[:count] = np.clip(seed[:count], lower, upper)
+        objectives = self._evaluate(objective_fn, population)
+
+        for _ in range(self.n_generations):
+            offspring = self._make_offspring(population, objectives, lower, upper,
+                                             mutation_prob)
+            offspring_objectives = self._evaluate(objective_fn, offspring)
+            population, objectives = self._environmental_selection(
+                np.vstack([population, offspring]),
+                np.vstack([objectives, offspring_objectives]),
+            )
+
+        fronts = fast_non_dominated_sort(objectives)
+        pareto = fronts[0]
+        return NSGA2Result(
+            x=population,
+            objectives=objectives,
+            pareto_x=population[pareto],
+            pareto_objectives=objectives[pareto],
+            n_generations=self.n_generations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals                                                           #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _evaluate(objective_fn, population: np.ndarray) -> np.ndarray:
+        values = np.asarray(objective_fn(population), dtype=float)
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+        if values.shape[0] != population.shape[0]:
+            raise ValueError(
+                "objective_fn must return one row per individual "
+                f"({values.shape[0]} vs {population.shape[0]})"
+            )
+        # Non-finite objectives are treated as maximally bad.
+        values = np.where(np.isfinite(values), values, 1e18)
+        return values
+
+    def _rank_and_crowding(self, objectives: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ranks = np.empty(objectives.shape[0], dtype=int)
+        crowding = np.empty(objectives.shape[0], dtype=float)
+        for rank, front in enumerate(fast_non_dominated_sort(objectives)):
+            ranks[front] = rank
+            crowding[front] = crowding_distance(objectives[front])
+        return ranks, crowding
+
+    def _tournament(self, ranks: np.ndarray, crowding: np.ndarray, count: int) -> np.ndarray:
+        candidates = self.rng.integers(0, ranks.shape[0], size=(count, 2))
+        first, second = candidates[:, 0], candidates[:, 1]
+        better_rank = ranks[first] < ranks[second]
+        equal_rank = ranks[first] == ranks[second]
+        better_crowd = crowding[first] > crowding[second]
+        pick_first = better_rank | (equal_rank & better_crowd)
+        return np.where(pick_first, first, second)
+
+    def _sbx(self, parents_a: np.ndarray, parents_b: np.ndarray,
+             lower: np.ndarray, upper: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Simulated binary crossover on parent pairs."""
+        shape = parents_a.shape
+        u = self.rng.uniform(size=shape)
+        beta = np.where(
+            u <= 0.5,
+            (2.0 * u) ** (1.0 / (self.crossover_eta + 1.0)),
+            (1.0 / (2.0 * (1.0 - u))) ** (1.0 / (self.crossover_eta + 1.0)),
+        )
+        do_cross = self.rng.uniform(size=(shape[0], 1)) < self.crossover_prob
+        beta = np.where(do_cross, beta, 1.0)
+        child_a = 0.5 * ((1 + beta) * parents_a + (1 - beta) * parents_b)
+        child_b = 0.5 * ((1 - beta) * parents_a + (1 + beta) * parents_b)
+        return (np.clip(child_a, lower, upper), np.clip(child_b, lower, upper))
+
+    def _polynomial_mutation(self, population: np.ndarray, lower: np.ndarray,
+                             upper: np.ndarray, mutation_prob: float) -> np.ndarray:
+        span = np.maximum(upper - lower, 1e-30)
+        u = self.rng.uniform(size=population.shape)
+        do_mutate = self.rng.uniform(size=population.shape) < mutation_prob
+        delta = np.where(
+            u < 0.5,
+            (2.0 * u) ** (1.0 / (self.mutation_eta + 1.0)) - 1.0,
+            1.0 - (2.0 * (1.0 - u)) ** (1.0 / (self.mutation_eta + 1.0)),
+        )
+        mutated = population + do_mutate * delta * span
+        return np.clip(mutated, lower, upper)
+
+    def _make_offspring(self, population: np.ndarray, objectives: np.ndarray,
+                        lower: np.ndarray, upper: np.ndarray,
+                        mutation_prob: float) -> np.ndarray:
+        ranks, crowding = self._rank_and_crowding(objectives)
+        parent_indices = self._tournament(ranks, crowding, self.pop_size)
+        parents = population[parent_indices]
+        half = self.pop_size // 2
+        child_a, child_b = self._sbx(parents[:half], parents[half:], lower, upper)
+        offspring = np.vstack([child_a, child_b])
+        return self._polynomial_mutation(offspring, lower, upper, mutation_prob)
+
+    def _environmental_selection(self, population: np.ndarray,
+                                 objectives: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        selected: list[int] = []
+        for front in fast_non_dominated_sort(objectives):
+            if len(selected) + front.size <= self.pop_size:
+                selected.extend(front.tolist())
+                continue
+            remaining = self.pop_size - len(selected)
+            crowding = crowding_distance(objectives[front])
+            order = np.argsort(-crowding, kind="stable")
+            selected.extend(front[order[:remaining]].tolist())
+            break
+        index = np.asarray(selected, dtype=int)
+        return population[index], objectives[index]

@@ -1,0 +1,109 @@
+"""Pareto-dominance utilities (minimisation convention throughout)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+
+def is_dominated(a: np.ndarray, b: np.ndarray) -> bool:
+    """Return True when objective vector ``a`` is dominated by ``b``.
+
+    ``b`` dominates ``a`` when it is no worse in every objective and strictly
+    better in at least one (minimisation).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(b <= a) and np.any(b < a))
+
+
+def pareto_front_mask(objectives) -> np.ndarray:
+    """Boolean mask of non-dominated rows of an ``(n, k)`` objective matrix."""
+    objectives = check_matrix(objectives, "objectives")
+    n = objectives.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        dominated_by_i = np.all(objectives[i] <= objectives, axis=1) & np.any(
+            objectives[i] < objectives, axis=1)
+        dominated_by_i[i] = False
+        mask &= ~dominated_by_i
+        # Re-check i itself: if anything dominates i, clear it.
+        dominates_i = np.all(objectives <= objectives[i], axis=1) & np.any(
+            objectives < objectives[i], axis=1)
+        if np.any(dominates_i & mask):
+            mask[i] = False
+    return mask
+
+
+def fast_non_dominated_sort(objectives) -> list[np.ndarray]:
+    """Deb's fast non-dominated sorting.
+
+    Returns a list of index arrays; the first entry is the Pareto front,
+    subsequent entries are successive fronts after removing earlier ones.
+    """
+    objectives = check_matrix(objectives, "objectives")
+    n = objectives.shape[0]
+    dominated_sets: list[list[int]] = [[] for _ in range(n)]
+    domination_counts = np.zeros(n, dtype=int)
+
+    for i in range(n):
+        better = np.all(objectives[i] <= objectives, axis=1) & np.any(
+            objectives[i] < objectives, axis=1)
+        worse = np.all(objectives <= objectives[i], axis=1) & np.any(
+            objectives < objectives[i], axis=1)
+        dominated_sets[i] = list(np.nonzero(better)[0])
+        domination_counts[i] = int(np.count_nonzero(worse))
+
+    fronts: list[np.ndarray] = []
+    current = np.nonzero(domination_counts == 0)[0]
+    while current.size:
+        fronts.append(current)
+        counts = domination_counts.copy()
+        for index in current:
+            for dominated in dominated_sets[index]:
+                counts[dominated] -= 1
+            counts[index] = -1  # mark as assigned
+        domination_counts = counts
+        current = np.nonzero(domination_counts == 0)[0]
+    return fronts
+
+
+def crowding_distance(objectives) -> np.ndarray:
+    """NSGA-II crowding distance of each row (larger = more isolated)."""
+    objectives = check_matrix(objectives, "objectives")
+    n, k = objectives.shape
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n)
+    for j in range(k):
+        order = np.argsort(objectives[:, j], kind="stable")
+        spread = objectives[order[-1], j] - objectives[order[0], j]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if spread <= 1e-15:
+            continue
+        gaps = (objectives[order[2:], j] - objectives[order[:-2], j]) / spread
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+def hypervolume_2d(front, reference) -> float:
+    """Hypervolume of a 2-objective front w.r.t. a reference point (minimisation)."""
+    front = check_matrix(front, "front", n_cols=2)
+    reference = np.asarray(reference, dtype=float)
+    mask = np.all(front <= reference, axis=1)
+    front = front[mask]
+    if front.shape[0] == 0:
+        return 0.0
+    front = front[pareto_front_mask(front)]
+    order = np.argsort(front[:, 0])
+    front = front[order]
+    volume = 0.0
+    previous_y = reference[1]
+    for x, y in front:
+        volume += (reference[0] - x) * (previous_y - y)
+        previous_y = y
+    return float(volume)

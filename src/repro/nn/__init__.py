@@ -1,0 +1,24 @@
+"""Minimal neural-network building blocks on top of :mod:`repro.autodiff`.
+
+The paper only needs small shallow networks: the KAT-GP encoder and decoder
+are ``linear(d_in x 32) - sigmoid - linear(32 x d_out)`` and the Neural
+Kernel wraps linear maps around primitive kernels.  This package provides
+those building blocks with a PyTorch-like ``Module`` API.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Identity, Linear, MLP, Sequential, Sigmoid, Tanh, ReLU
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Sigmoid",
+    "Tanh",
+    "ReLU",
+    "Identity",
+    "Sequential",
+    "MLP",
+    "init",
+]

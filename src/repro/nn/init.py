@@ -1,0 +1,43 @@
+"""Weight-initialisation schemes for the small networks used by KATO."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import RandomState, as_rng
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: RandomState = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_out, fan_in)`` weight."""
+    rng = as_rng(rng)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_out, fan_in))
+
+
+def xavier_normal(fan_in: int, fan_out: int, rng: RandomState = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation for a ``(fan_out, fan_in)`` weight."""
+    rng = as_rng(rng)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_out, fan_in))
+
+
+def kaiming_uniform(fan_in: int, fan_out: int, rng: RandomState = None) -> np.ndarray:
+    """He uniform initialisation, appropriate for ReLU networks."""
+    rng = as_rng(rng)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_out, fan_in))
+
+
+def near_identity(fan_in: int, fan_out: int, rng: RandomState = None,
+                  noise: float = 0.01) -> np.ndarray:
+    """Initialise close to (a slice of) the identity map.
+
+    The KAT-GP encoder benefits from starting near the identity so that the
+    aligned source GP initially behaves like the plain source GP on shared
+    dimensions; small noise breaks symmetry for training.
+    """
+    rng = as_rng(rng)
+    weight = np.zeros((fan_out, fan_in))
+    for i in range(min(fan_in, fan_out)):
+        weight[i, i] = 1.0
+    return weight + rng.normal(0.0, noise, size=weight.shape)

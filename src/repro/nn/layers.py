@@ -1,0 +1,132 @@
+"""Layers: linear maps, activations, sequential containers and a small MLP."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.autodiff.functional import as_tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.random import RandomState, as_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` for row-major inputs of shape ``(n, d_in)``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: bool = True, rng: RandomState = None,
+                 init_scheme: str = "xavier_uniform"):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = as_rng(rng)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        if init_scheme == "xavier_uniform":
+            weight = init.xavier_uniform(in_features, out_features, rng)
+        elif init_scheme == "xavier_normal":
+            weight = init.xavier_normal(in_features, out_features, rng)
+        elif init_scheme == "kaiming_uniform":
+            weight = init.kaiming_uniform(in_features, out_features, rng)
+        elif init_scheme == "near_identity":
+            weight = init.near_identity(in_features, out_features, rng)
+        else:
+            raise ValueError(f"unknown init scheme: {init_scheme!r}")
+        self.weight = Parameter(weight, name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Linear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, "
+                f"bias={self.bias is not None})")
+
+
+class Sigmoid(Module):
+    """Elementwise logistic activation."""
+
+    def forward(self, x) -> Tensor:
+        return as_tensor(x).sigmoid()
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic-tangent activation."""
+
+    def forward(self, x) -> Tensor:
+        return as_tensor(x).tanh()
+
+
+class ReLU(Module):
+    """Elementwise rectified-linear activation."""
+
+    def forward(self, x) -> Tensor:
+        return as_tensor(x).relu()
+
+
+class Identity(Module):
+    """Pass-through layer (useful as a disabled encoder/decoder)."""
+
+    def forward(self, x) -> Tensor:
+        return as_tensor(x)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module):
+        self.children = list(modules)
+
+    def forward(self, x) -> Tensor:
+        out = as_tensor(x)
+        for module in self.children:
+            out = module(out)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.children[index]
+
+
+_ACTIVATIONS = {
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "relu": ReLU,
+    "identity": Identity,
+}
+
+
+class MLP(Module):
+    """A small fully connected network.
+
+    The paper's encoder and decoder are the special case
+    ``MLP(d_in, d_out, hidden=(32,), activation="sigmoid")``.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 hidden: tuple[int, ...] = (32,), activation: str = "sigmoid",
+                 rng: RandomState = None, output_activation: str = "identity"):
+        rng = as_rng(rng)
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        if output_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown output activation {output_activation!r}")
+        sizes = [int(in_features), *[int(h) for h in hidden], int(out_features)]
+        layers: list[Module] = []
+        for index, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layers.append(Linear(fan_in, fan_out, rng=rng))
+            is_last = index == len(sizes) - 2
+            layers.append(_ACTIVATIONS[output_activation if is_last else activation]())
+        self.net = Sequential(*layers)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+
+    def forward(self, x) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,100 @@
+"""Base classes for trainable modules and their parameters."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable by :class:`Module`."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with parameter registration, in the spirit of ``nn.Module``.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically, so optimizers can simply iterate ``module.parameters()``.
+    """
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # parameter management                                                #
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs for this module and children."""
+        seen: set[int] = set()
+        for attr_name, value in vars(self).items():
+            full = f"{prefix}{attr_name}"
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{index}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{index}.")
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{key}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{key}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return the unique trainable parameters of this module tree."""
+        unique: list[Parameter] = []
+        seen: set[int] = set()
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                unique.append(param)
+        return unique
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # (de)serialisation                                                   #
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a copy of all parameter values keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            value = np.asarray(value, dtype=float)
+            if value.shape != own[name].data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {own[name].data.shape}"
+                )
+            own[name].data = value.copy()

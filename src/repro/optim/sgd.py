@@ -1,0 +1,41 @@
+"""Plain stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+class SGD:
+    """Gradient descent with classical momentum.
+
+    Provided mostly for testing and ablation against :class:`repro.optim.Adam`.
+    """
+
+    def __init__(self, parameters: list[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        for index, param in enumerate(self.parameters):
+            grad = param.grad
+            if grad is None:
+                continue
+            grad = np.asarray(grad, dtype=float)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._velocity[index] = self.momentum * self._velocity[index] - self.lr * grad
+            param.data = param.data + self._velocity[index]

@@ -1,0 +1,57 @@
+"""Generic training loop shared by GP-likelihood and network training."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn.module import Module
+from repro.optim.adam import Adam
+
+
+def train_module(module: Module, loss_fn: Callable[[], Tensor],
+                 n_iters: int = 100, lr: float = 0.05,
+                 tol: float = 1e-7, patience: int = 25,
+                 grad_clip: float | None = 10.0,
+                 verbose: bool = False) -> list[float]:
+    """Minimise ``loss_fn()`` over the parameters of ``module`` with Adam.
+
+    The loss function closes over the module (and data) and returns a scalar
+    :class:`Tensor`; this is the pattern used for GP negative log marginal
+    likelihood and KAT-GP alignment training.
+
+    Returns the loss history.  Training stops early when the best loss has
+    not improved by ``tol`` for ``patience`` consecutive iterations, or when
+    a non-finite loss is encountered (the last finite parameters are kept).
+    """
+    optimizer = Adam(module.parameters(), lr=lr, grad_clip=grad_clip)
+    history: list[float] = []
+    best_loss = np.inf
+    best_state = module.state_dict()
+    stall = 0
+    for iteration in range(int(n_iters)):
+        optimizer.zero_grad()
+        loss = loss_fn()
+        value = float(loss.data)
+        if not np.isfinite(value):
+            module.load_state_dict(best_state)
+            break
+        history.append(value)
+        if value < best_loss - tol:
+            best_loss = value
+            best_state = module.state_dict()
+            stall = 0
+        else:
+            stall += 1
+            if stall >= patience:
+                break
+        loss.backward()
+        optimizer.step()
+        if verbose and iteration % 20 == 0:  # pragma: no cover - logging only
+            print(f"[train] iter={iteration} loss={value:.6f}")
+    # Keep the best parameters seen rather than the last iterate.
+    if history and history[-1] > best_loss:
+        module.load_state_dict(best_state)
+    return history

@@ -1,0 +1,90 @@
+"""The two synthetic technology nodes used throughout the evaluation.
+
+Parameter values are in the range of published textbook/openly documented
+numbers for generic 180 nm and 40 nm CMOS.  They are not any foundry's data;
+what matters for reproducing the paper is the *relative* behaviour between
+the nodes (supply, intrinsic gain, speed), which these cards preserve.
+"""
+
+from __future__ import annotations
+
+from repro.pdk.technology import Technology
+from repro.spice.devices.mosfet import MosfetModel
+
+
+def make_180nm() -> Technology:
+    """Generic 180 nm CMOS: 1.8 V supply, high intrinsic gain, slower devices."""
+    nmos = MosfetModel(
+        polarity="nmos",
+        vth0=0.45,
+        kp=300e-6,
+        lambda_per_um=0.08,
+        cox=8.5e-3,
+        cgdo=3.0e-10,
+        vth_tc=-1.0e-3,
+    )
+    pmos = MosfetModel(
+        polarity="pmos",
+        vth0=0.45,
+        kp=100e-6,
+        lambda_per_um=0.10,
+        cox=8.5e-3,
+        cgdo=3.0e-10,
+        vth_tc=-1.2e-3,
+    )
+    return Technology(
+        name="180nm",
+        vdd=1.8,
+        nmos=nmos,
+        pmos=pmos,
+        min_length=0.18e-6,
+        max_length=2.0e-6,
+        min_width=0.5e-6,
+        max_width=200e-6,
+    )
+
+
+def make_40nm() -> Technology:
+    """Generic 40 nm CMOS: 1.1 V supply, faster but much lower intrinsic gain."""
+    nmos = MosfetModel(
+        polarity="nmos",
+        vth0=0.35,
+        kp=520e-6,
+        lambda_per_um=0.30,
+        cox=1.5e-2,
+        cgdo=2.0e-10,
+        vth_tc=-0.8e-3,
+    )
+    pmos = MosfetModel(
+        polarity="pmos",
+        vth0=0.35,
+        kp=220e-6,
+        lambda_per_um=0.35,
+        cox=1.5e-2,
+        cgdo=2.0e-10,
+        vth_tc=-1.0e-3,
+    )
+    return Technology(
+        name="40nm",
+        vdd=1.1,
+        nmos=nmos,
+        pmos=pmos,
+        min_length=0.04e-6,
+        max_length=0.5e-6,
+        min_width=0.12e-6,
+        max_width=50e-6,
+    )
+
+
+TECHNOLOGIES = {
+    "180nm": make_180nm,
+    "40nm": make_40nm,
+}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a technology card by name (``"180nm"`` or ``"40nm"``)."""
+    key = name.lower()
+    if key not in TECHNOLOGIES:
+        raise KeyError(f"unknown technology {name!r}; available: {sorted(TECHNOLOGIES)}")
+    return TECHNOLOGIES[key]()

@@ -1,0 +1,57 @@
+"""Technology card: everything a testbench needs to know about a node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spice.devices.mosfet import MosfetModel
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A synthetic process node description.
+
+    Attributes
+    ----------
+    name:
+        Node identifier, e.g. ``"180nm"``.
+    vdd:
+        Nominal supply voltage (V).
+    nmos / pmos:
+        Level-1 device models.
+    min_length / max_length:
+        Allowed transistor channel lengths (m).
+    min_width / max_width:
+        Allowed transistor widths (m).
+    """
+
+    name: str
+    vdd: float
+    nmos: MosfetModel
+    pmos: MosfetModel
+    min_length: float
+    max_length: float
+    min_width: float
+    max_width: float
+
+    @property
+    def common_mode(self) -> float:
+        """Default input common-mode voltage used by the op-amp testbenches."""
+        return 0.5 * self.vdd
+
+    def clamp_length(self, length: float) -> float:
+        return min(max(length, self.min_length), self.max_length)
+
+    def clamp_width(self, width: float) -> float:
+        return min(max(width, self.min_width), self.max_width)
+
+    def describe(self) -> dict[str, float | str]:
+        return {
+            "name": self.name,
+            "vdd": self.vdd,
+            "nmos_vth": self.nmos.vth0,
+            "pmos_vth": self.pmos.vth0,
+            "nmos_kp": self.nmos.kp,
+            "pmos_kp": self.pmos.kp,
+            "min_length_nm": self.min_length * 1e9,
+        }

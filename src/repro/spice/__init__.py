@@ -1,0 +1,53 @@
+"""A small SPICE-like analog circuit simulator.
+
+The paper evaluates designs with ngspice on proprietary PDKs; offline, this
+package provides the simulation substrate instead: modified nodal analysis
+(MNA) with
+
+* linear devices (resistors, capacitors, independent and controlled sources),
+* nonlinear devices (level-1 / square-law MOSFETs, diodes and diode-connected
+  BJTs),
+* Newton-Raphson DC operating-point analysis with gmin stepping and damping,
+* complex-valued AC small-signal analysis, and
+* DC / temperature sweeps.
+
+The circuit testbenches in :mod:`repro.circuits` build small-signal
+equivalent networks with these devices and extract gain, bandwidth, phase
+margin and PSRR from the AC results.
+"""
+
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.devices import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Mosfet,
+    MosfetModel,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.ac import ACResult, ac_analysis
+from repro.spice.sweep import dc_sweep, temperature_sweep
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "Diode",
+    "Mosfet",
+    "MosfetModel",
+    "OperatingPoint",
+    "dc_operating_point",
+    "ACResult",
+    "ac_analysis",
+    "dc_sweep",
+    "temperature_sweep",
+]

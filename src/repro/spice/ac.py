@@ -1,0 +1,145 @@
+"""AC small-signal analysis and transfer-function measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.dc import OperatingPoint
+from repro.spice.netlist import Circuit
+
+
+@dataclass
+class ACResult:
+    """Frequency response of one (or more) observed nodes.
+
+    Attributes
+    ----------
+    frequencies:
+        Analysis frequencies in hertz.
+    node_voltages:
+        Mapping node name -> complex response array (same length as
+        ``frequencies``).
+    """
+
+    frequencies: np.ndarray
+    node_voltages: dict[str, np.ndarray]
+
+    # ------------------------------------------------------------------ #
+    # accessors                                                           #
+    # ------------------------------------------------------------------ #
+    def response(self, node: str) -> np.ndarray:
+        return self.node_voltages[node]
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        return 20.0 * np.log10(np.maximum(np.abs(self.response(node)), 1e-30))
+
+    def phase_degrees(self, node: str, unwrap: bool = True) -> np.ndarray:
+        phase = np.angle(self.response(node))
+        if unwrap:
+            phase = np.unwrap(phase)
+        return np.degrees(phase)
+
+    # ------------------------------------------------------------------ #
+    # measurements                                                        #
+    # ------------------------------------------------------------------ #
+    def dc_gain_db(self, node: str) -> float:
+        """Gain at the lowest analysed frequency."""
+        return float(self.magnitude_db(node)[0])
+
+    def unity_gain_frequency(self, node: str) -> float:
+        """First frequency where the magnitude crosses 0 dB (GBW proxy).
+
+        Returns 0 when the response never reaches 0 dB (no unity-gain
+        crossing means the amplifier is essentially dead).
+        """
+        magnitude = self.magnitude_db(node)
+        if magnitude[0] <= 0.0:
+            return 0.0
+        below = np.nonzero(magnitude <= 0.0)[0]
+        if below.size == 0:
+            return float(self.frequencies[-1])
+        index = below[0]
+        # Log-linear interpolation between the straddling points.
+        f_low, f_high = self.frequencies[index - 1], self.frequencies[index]
+        m_low, m_high = magnitude[index - 1], magnitude[index]
+        if m_low == m_high:
+            return float(f_high)
+        fraction = m_low / (m_low - m_high)
+        return float(np.exp(np.log(f_low) + fraction * (np.log(f_high) - np.log(f_low))))
+
+    def phase_margin_degrees(self, node: str) -> float:
+        """Phase margin at the unity-gain frequency (0 when there is no crossing)."""
+        unity = self.unity_gain_frequency(node)
+        if unity <= 0.0:
+            return 0.0
+        phase = self.phase_degrees(node)
+        # Normalise so the low-frequency phase reference is 0 (or 180 for
+        # inverting responses) before measuring distance to -180 degrees.
+        reference = phase[0]
+        relative = phase - reference
+        interpolated = np.interp(np.log(unity), np.log(self.frequencies), relative)
+        margin = 180.0 + interpolated
+        return float(np.clip(margin, -180.0, 360.0))
+
+    def gain_at(self, node: str, frequency: float) -> float:
+        """Interpolated magnitude (dB) at an arbitrary frequency."""
+        magnitude = self.magnitude_db(node)
+        return float(np.interp(np.log(frequency), np.log(self.frequencies), magnitude))
+
+    def bandwidth_3db(self, node: str) -> float:
+        """-3 dB bandwidth relative to the low-frequency gain."""
+        magnitude = self.magnitude_db(node)
+        target = magnitude[0] - 3.0
+        below = np.nonzero(magnitude <= target)[0]
+        if below.size == 0:
+            return float(self.frequencies[-1])
+        index = below[0]
+        if index == 0:
+            return float(self.frequencies[0])
+        f_low, f_high = self.frequencies[index - 1], self.frequencies[index]
+        m_low, m_high = magnitude[index - 1], magnitude[index]
+        fraction = (m_low - target) / (m_low - m_high)
+        return float(np.exp(np.log(f_low) + fraction * (np.log(f_high) - np.log(f_low))))
+
+
+def logspace_frequencies(start: float = 1.0, stop: float = 1e9,
+                         points_per_decade: int = 20) -> np.ndarray:
+    """Logarithmically spaced analysis frequencies."""
+    decades = np.log10(stop) - np.log10(start)
+    count = max(int(decades * points_per_decade) + 1, 2)
+    return np.logspace(np.log10(start), np.log10(stop), count)
+
+
+def ac_analysis(circuit: Circuit, operating_point: OperatingPoint,
+                frequencies: np.ndarray | None = None,
+                observe: list[str] | None = None) -> ACResult:
+    """Complex small-signal sweep of ``circuit`` around ``operating_point``.
+
+    Parameters
+    ----------
+    frequencies:
+        Frequencies in hertz; defaults to 1 Hz .. 1 GHz, 20 points/decade.
+    observe:
+        Node names to record; defaults to every non-ground node.
+    """
+    if frequencies is None:
+        frequencies = logspace_frequencies()
+    frequencies = np.asarray(frequencies, dtype=float)
+    circuit.ensure_indices()
+    observed = observe if observe is not None else circuit.nodes
+    responses = {node: np.empty(frequencies.shape[0], dtype=complex) for node in observed}
+
+    for index, frequency in enumerate(frequencies):
+        omega = 2.0 * np.pi * frequency
+        stamper = circuit.stamp_ac(omega, operating_point)
+        # A tiny conductance to ground keeps otherwise-floating nodes solvable.
+        stamper.add_gmin(1e-15)
+        try:
+            solution = stamper.solve()
+        except np.linalg.LinAlgError:
+            solution = stamper.solve_lstsq()
+        for node in observed:
+            responses[node][index] = circuit.node_voltage(solution, node)
+    return ACResult(frequencies=frequencies, node_voltages=responses)

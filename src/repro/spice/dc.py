@@ -1,0 +1,113 @@
+"""Newton-Raphson DC operating-point analysis with gmin stepping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.netlist import Circuit
+
+
+@dataclass
+class OperatingPoint:
+    """Solved DC operating point.
+
+    Attributes
+    ----------
+    voltages:
+        Raw solution vector (node voltages then branch currents).
+    node_voltages:
+        Mapping node name -> DC voltage.
+    device_info:
+        Mapping device name -> small-signal / bias dictionary (``gm``,
+        ``gds``, ``ids``, ``region``, ...), consumed by AC analysis.
+    converged:
+        Whether Newton iteration met the tolerance.
+    iterations:
+        Newton iterations used (summed across gmin steps).
+    temperature:
+        Analysis temperature in Celsius.
+    """
+
+    voltages: np.ndarray
+    node_voltages: dict[str, float]
+    device_info: dict[str, dict[str, float]] = field(default_factory=dict)
+    converged: bool = True
+    iterations: int = 0
+    temperature: float = 27.0
+
+    def voltage(self, node: str) -> float:
+        if node in ("0", "gnd", "vss"):
+            return 0.0
+        return self.node_voltages[node]
+
+
+def _newton_solve(circuit: Circuit, start: np.ndarray, temperature: float,
+                  gmin: float, max_iterations: int, tolerance: float,
+                  damping: float) -> tuple[np.ndarray, bool, int]:
+    """Damped Newton iteration at a fixed gmin level."""
+    voltages = start.copy()
+    for iteration in range(1, max_iterations + 1):
+        stamper = circuit.stamp_dc(voltages, temperature, gmin=gmin)
+        try:
+            new_voltages = stamper.solve()
+        except np.linalg.LinAlgError:
+            new_voltages = stamper.solve_lstsq()
+        if not np.all(np.isfinite(new_voltages)):
+            return voltages, False, iteration
+        delta = new_voltages - voltages
+        # Limit the per-iteration voltage step (classic SPICE damping).
+        step = np.clip(delta, -damping, damping)
+        voltages = voltages + step
+        if np.max(np.abs(delta)) < tolerance:
+            return voltages, True, iteration
+    return voltages, False, max_iterations
+
+
+def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
+                       max_iterations: int = 150, tolerance: float = 1e-9,
+                       damping: float = 0.5,
+                       gmin_steps: tuple[float, ...] = (1e-2, 1e-4, 1e-6, 1e-9, 1e-12),
+                       initial_guess: np.ndarray | None = None,
+                       raise_on_failure: bool = False) -> OperatingPoint:
+    """Find the DC operating point of ``circuit``.
+
+    gmin stepping: the circuit is first solved with a large conductance from
+    every node to ground (which makes the system nearly linear), then the
+    conductance is reduced step by step, warm-starting each Newton solve from
+    the previous solution.
+
+    When Newton fails at the final gmin the best solution found is returned
+    with ``converged=False`` (or :class:`ConvergenceError` is raised when
+    ``raise_on_failure`` is set) -- the circuit testbenches treat
+    non-converged designs as constraint violations rather than crashes.
+    """
+    circuit.ensure_indices()
+    size = circuit.n_nodes + circuit.n_branches
+    voltages = np.zeros(size) if initial_guess is None else np.asarray(
+        initial_guess, dtype=float).copy()
+    if voltages.shape[0] != size:
+        raise ValueError(f"initial_guess must have length {size}")
+
+    total_iterations = 0
+    converged = False
+    for gmin in gmin_steps:
+        voltages, converged, used = _newton_solve(
+            circuit, voltages, temperature, gmin, max_iterations, tolerance, damping)
+        total_iterations += used
+        if not converged and gmin == gmin_steps[-1]:
+            break
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"DC analysis of {circuit.title!r} did not converge after "
+            f"{total_iterations} Newton iterations")
+
+    node_voltages = {name: float(voltages[index])
+                     for name, index in zip(circuit.nodes, range(circuit.n_nodes))}
+    device_info = {device.name: device.operating_info(voltages, temperature)
+                   for device in circuit.devices}
+    return OperatingPoint(voltages=voltages, node_voltages=node_voltages,
+                          device_info=device_info, converged=converged,
+                          iterations=total_iterations, temperature=temperature)

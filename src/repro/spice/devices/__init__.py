@@ -1,0 +1,21 @@
+"""Circuit devices: passives, sources and nonlinear semiconductor models."""
+
+from repro.spice.devices.base import Device, TwoTerminal
+from repro.spice.devices.passives import Capacitor, Resistor
+from repro.spice.devices.sources import VCCS, VCVS, CurrentSource, VoltageSource
+from repro.spice.devices.diode import Diode
+from repro.spice.devices.mosfet import Mosfet, MosfetModel
+
+__all__ = [
+    "Device",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "Diode",
+    "Mosfet",
+    "MosfetModel",
+]

@@ -1,0 +1,80 @@
+"""Device base classes and the stamping interface.
+
+Every device knows how to *stamp* its contribution into the MNA system:
+
+* :meth:`Device.stamp_dc` -- real-valued Jacobian/right-hand-side stamps at a
+  given trial node-voltage vector (linear devices ignore the voltages);
+* :meth:`Device.stamp_ac` -- complex-valued small-signal stamps at angular
+  frequency ``omega``, linearised around a previously computed DC operating
+  point.
+
+Node indices are resolved by :class:`repro.spice.netlist.Circuit` before any
+analysis runs; index ``-1`` denotes the ground node and is skipped by the
+stamping helpers in :mod:`repro.spice.mna`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Device:
+    """Base class for all circuit elements."""
+
+    #: number of extra MNA unknowns (branch currents) the device needs
+    n_branches = 0
+
+    def __init__(self, name: str, nodes: tuple[str, ...]):
+        if not name:
+            raise ValueError("device name must be non-empty")
+        self.name = name
+        self.node_names = tuple(nodes)
+        self.node_indices: tuple[int, ...] = ()
+        self.branch_indices: tuple[int, ...] = ()
+
+    # -- wiring --------------------------------------------------------- #
+    def bind(self, node_indices: tuple[int, ...], branch_indices: tuple[int, ...]) -> None:
+        """Store resolved matrix indices (called by the circuit)."""
+        self.node_indices = tuple(node_indices)
+        self.branch_indices = tuple(branch_indices)
+
+    # -- behaviour ------------------------------------------------------ #
+    @property
+    def is_nonlinear(self) -> bool:
+        return False
+
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        """Stamp DC (large-signal, linearised) contributions."""
+        raise NotImplementedError
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        """Stamp AC small-signal contributions."""
+        raise NotImplementedError
+
+    def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
+        """Per-device operating-point quantities (currents, gm, region, ...)."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name}, nodes={self.node_names})"
+
+
+class TwoTerminal(Device):
+    """Convenience base class for two-terminal devices."""
+
+    def __init__(self, name: str, positive: str, negative: str):
+        super().__init__(name, (positive, negative))
+
+    @property
+    def positive_index(self) -> int:
+        return self.node_indices[0]
+
+    @property
+    def negative_index(self) -> int:
+        return self.node_indices[1]
+
+    def voltage_across(self, voltages: np.ndarray) -> float:
+        """Voltage from the positive to the negative terminal."""
+        pos = 0.0 if self.positive_index < 0 else voltages[self.positive_index]
+        neg = 0.0 if self.negative_index < 0 else voltages[self.negative_index]
+        return float(pos - neg)

@@ -1,0 +1,231 @@
+"""Level-1 (square-law) MOSFET model with channel-length modulation.
+
+The synthetic 180 nm / 40 nm technology cards in :mod:`repro.pdk` supply the
+model parameters.  The model provides both the large-signal equations used by
+Newton-Raphson DC analysis and the small-signal quantities (gm, gds,
+capacitances) used by AC analysis and by the analytical op-amp testbenches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.devices.base import Device
+
+
+@dataclass(frozen=True)
+class MosfetModel:
+    """Technology parameters of one device polarity.
+
+    Attributes
+    ----------
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    vth0:
+        Zero-bias threshold voltage magnitude (V).
+    kp:
+        Process transconductance ``mu * Cox`` (A/V^2).
+    lambda_per_um:
+        Channel-length-modulation coefficient for a 1 um device; the
+        effective lambda scales as ``lambda_per_um / L_um``.
+    cox:
+        Gate-oxide capacitance per area (F/m^2).
+    cgdo:
+        Gate-drain overlap capacitance per width (F/m).
+    vth_tc:
+        Threshold temperature coefficient (V/K), negative for both polarities.
+    mobility_temp_exponent:
+        ``kp(T) = kp * (T/Tnom)^exponent`` (exponent is negative).
+    """
+
+    polarity: str
+    vth0: float
+    kp: float
+    lambda_per_um: float
+    cox: float
+    cgdo: float
+    vth_tc: float = -1e-3
+    mobility_temp_exponent: float = -1.5
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+
+    @property
+    def sign(self) -> float:
+        """+1 for NMOS, -1 for PMOS (applied to terminal voltages)."""
+        return 1.0 if self.polarity == "nmos" else -1.0
+
+    def vth_at(self, temperature_celsius: float) -> float:
+        return self.vth0 + self.vth_tc * (temperature_celsius - 27.0)
+
+    def kp_at(self, temperature_celsius: float) -> float:
+        t_ratio = (temperature_celsius + 273.15) / 300.15
+        return self.kp * t_ratio**self.mobility_temp_exponent
+
+    def effective_lambda(self, length: float) -> float:
+        """Channel-length modulation for a device of length ``length`` metres."""
+        length_um = max(length * 1e6, 1e-3)
+        return self.lambda_per_um / length_um
+
+
+@dataclass
+class MosfetOperatingPoint:
+    """Small-signal quantities of one MOSFET at its DC bias.
+
+    Voltages follow the device's own polarity convention (``vgs``/``vds`` are
+    source-referenced magnitudes for PMOS as well), so ``vov > 0`` always
+    means the channel is on.
+    """
+
+    ids: float
+    vgs: float
+    vds: float
+    vov: float
+    gm: float
+    gds: float
+    region: str
+    cgs: float
+    cgd: float
+
+
+def square_law(model: MosfetModel, width: float, length: float,
+               vgs: float, vds: float, temperature: float = 27.0,
+               ) -> MosfetOperatingPoint:
+    """Evaluate the square-law model (``vgs``/``vds`` in polarity convention, ``vds >= 0``)."""
+    vth = model.vth_at(temperature)
+    kp = model.kp_at(temperature)
+    beta = kp * width / max(length, 1e-9)
+    lam = model.effective_lambda(length)
+    vov = vgs - vth
+    vds = max(vds, 0.0)
+    cgs = (2.0 / 3.0) * width * length * model.cox + model.cgdo * width
+    cgd = model.cgdo * width
+
+    if vov <= 0.0:
+        # Sub-threshold: a tiny exponential leakage keeps the Jacobian finite
+        # and gives Newton a gradient to climb out of cutoff.
+        ids = 1e-12 * np.exp(np.clip(vov / 0.08, -60.0, 0.0)) * (1.0 + lam * vds)
+        gm = ids / 0.08
+        gds = 1e-9
+        return MosfetOperatingPoint(ids=float(ids), vgs=vgs, vds=vds, vov=vov,
+                                    gm=float(gm), gds=gds, region="cutoff",
+                                    cgs=cgs, cgd=cgd)
+    if vds < vov:
+        ids = beta * (vov * vds - 0.5 * vds**2) * (1.0 + lam * vds)
+        gm = beta * vds * (1.0 + lam * vds)
+        gds = (beta * (vov - vds) * (1.0 + lam * vds)
+               + beta * (vov * vds - 0.5 * vds**2) * lam)
+        region = "triode"
+        cgs = 0.5 * width * length * model.cox + model.cgdo * width
+        cgd = 0.5 * width * length * model.cox + model.cgdo * width
+    else:
+        ids = 0.5 * beta * vov**2 * (1.0 + lam * vds)
+        gm = beta * vov * (1.0 + lam * vds)
+        gds = 0.5 * beta * vov**2 * lam + 1e-12
+        region = "saturation"
+    return MosfetOperatingPoint(ids=float(ids), vgs=float(vgs), vds=float(vds),
+                                vov=float(vov), gm=float(max(gm, 1e-15)),
+                                gds=float(max(gds, 1e-12)), region=region,
+                                cgs=float(cgs), cgd=float(cgd))
+
+
+class Mosfet(Device):
+    """A four-terminal MOSFET (drain, gate, source, bulk).
+
+    The bulk terminal is kept for netlist fidelity but the level-1 equations
+    ignore body effect.
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str, bulk: str,
+                 model: MosfetModel, width: float, length: float):
+        super().__init__(name, (drain, gate, source, bulk))
+        if width <= 0 or length <= 0:
+            raise ValueError(f"width and length of {name} must be positive")
+        self.model = model
+        self.width = float(width)
+        self.length = float(length)
+
+    @property
+    def is_nonlinear(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------ #
+    # large-signal evaluation                                             #
+    # ------------------------------------------------------------------ #
+    def _terminal_voltages(self, voltages: np.ndarray) -> tuple[float, float, float]:
+        drain, gate, source, _ = self.node_indices
+        v_d = 0.0 if drain < 0 else float(voltages[drain])
+        v_g = 0.0 if gate < 0 else float(voltages[gate])
+        v_s = 0.0 if source < 0 else float(voltages[source])
+        return v_d, v_g, v_s
+
+    def _ids_and_derivatives(self, v_d: float, v_g: float, v_s: float,
+                             temperature: float,
+                             ) -> tuple[float, float, float, float, MosfetOperatingPoint]:
+        """Drain-to-source current and its partials w.r.t. (v_d, v_g, v_s).
+
+        Handles both polarities and drain/source swapping so the Newton
+        iteration sees a continuous, consistent model everywhere.
+        """
+        if self.model.polarity == "nmos":
+            if v_d >= v_s:
+                op = square_law(self.model, self.width, self.length,
+                                v_g - v_s, v_d - v_s, temperature)
+                return op.ids, op.gds, op.gm, -(op.gm + op.gds), op
+            op = square_law(self.model, self.width, self.length,
+                            v_g - v_d, v_s - v_d, temperature)
+            return -op.ids, op.gm + op.gds, -op.gm, -op.gds, op
+        # PMOS: conduction when the source is above the drain.
+        if v_s >= v_d:
+            op = square_law(self.model, self.width, self.length,
+                            v_s - v_g, v_s - v_d, temperature)
+            return -op.ids, op.gds, op.gm, -(op.gm + op.gds), op
+        op = square_law(self.model, self.width, self.length,
+                        v_d - v_g, v_d - v_s, temperature)
+        return op.ids, op.gm + op.gds, -op.gm, -op.gds, op
+
+    def operating_point(self, voltages: np.ndarray, temperature: float) -> MosfetOperatingPoint:
+        v_d, v_g, v_s = self._terminal_voltages(voltages)
+        _, _, _, _, op = self._ids_and_derivatives(v_d, v_g, v_s, temperature)
+        return op
+
+    # ------------------------------------------------------------------ #
+    # stamping                                                            #
+    # ------------------------------------------------------------------ #
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        drain, gate, source, _ = self.node_indices
+        v_d, v_g, v_s = self._terminal_voltages(voltages)
+        i_ds, d_vd, d_vg, d_vs, _ = self._ids_and_derivatives(v_d, v_g, v_s, temperature)
+        # KCL: +i_ds leaves the drain, enters the source.
+        stamper.add_entry(drain, drain, d_vd)
+        stamper.add_entry(drain, gate, d_vg)
+        stamper.add_entry(drain, source, d_vs)
+        stamper.add_entry(source, drain, -d_vd)
+        stamper.add_entry(source, gate, -d_vg)
+        stamper.add_entry(source, source, -d_vs)
+        equivalent = i_ds - (d_vd * v_d + d_vg * v_g + d_vs * v_s)
+        stamper.add_current(drain, source, equivalent)
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        drain, gate, source, _ = self.node_indices
+        info = operating_point.device_info.get(self.name)
+        if info is None:
+            raise KeyError(f"no operating point recorded for {self.name}")
+        gm, gds = info["gm"], info["gds"]
+        cgs, cgd = info["cgs"], info["cgd"]
+        # The small-signal model has the same form for NMOS and PMOS.
+        stamper.add_transconductance(drain, source, gate, source, gm)
+        stamper.add_conductance(drain, source, gds)
+        stamper.add_conductance(gate, source, 1j * omega * cgs)
+        stamper.add_conductance(gate, drain, 1j * omega * cgd)
+
+    def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
+        op = self.operating_point(voltages, temperature)
+        return {
+            "ids": op.ids, "vgs": op.vgs, "vds": op.vds, "vov": op.vov,
+            "gm": op.gm, "gds": op.gds, "cgs": op.cgs, "cgd": op.cgd,
+            "region": op.region,
+        }

@@ -1,0 +1,51 @@
+"""Linear passive devices: resistors and capacitors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.devices.base import TwoTerminal
+from repro.utils.validation import check_positive
+
+
+class Resistor(TwoTerminal):
+    """An ideal resistor between two nodes."""
+
+    def __init__(self, name: str, positive: str, negative: str, resistance: float):
+        super().__init__(name, positive, negative)
+        self.resistance = check_positive(resistance, f"resistance of {name}")
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        stamper.add_conductance(self.positive_index, self.negative_index,
+                                self.conductance)
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        stamper.add_conductance(self.positive_index, self.negative_index,
+                                self.conductance)
+
+    def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
+        v = self.voltage_across(voltages)
+        return {"v": v, "i": v / self.resistance, "power": v**2 / self.resistance}
+
+
+class Capacitor(TwoTerminal):
+    """An ideal capacitor: open in DC, admittance ``j*omega*C`` in AC."""
+
+    def __init__(self, name: str, positive: str, negative: str, capacitance: float):
+        super().__init__(name, positive, negative)
+        self.capacitance = check_positive(capacitance, f"capacitance of {name}")
+
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        # Open circuit at DC; nothing to stamp.
+        return
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        stamper.add_conductance(self.positive_index, self.negative_index,
+                                1j * omega * self.capacitance)
+
+    def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
+        return {"v": self.voltage_across(voltages)}

@@ -1,0 +1,110 @@
+"""Independent and controlled sources."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.devices.base import Device, TwoTerminal
+
+
+class VoltageSource(TwoTerminal):
+    """Independent voltage source (adds one branch-current unknown).
+
+    ``dc`` is the operating-point value; ``ac`` is the small-signal amplitude
+    used by AC analysis (1 V for transfer-function measurements, 0 to keep
+    the source quiet).
+    """
+
+    n_branches = 1
+
+    def __init__(self, name: str, positive: str, negative: str,
+                 dc: float = 0.0, ac: float = 0.0):
+        super().__init__(name, positive, negative)
+        self.dc = float(dc)
+        self.ac = float(ac)
+
+    def _stamp_branch(self, stamper, value) -> None:
+        branch = self.branch_indices[0]
+        pos, neg = self.positive_index, self.negative_index
+        stamper.add_entry(pos, branch, 1.0)
+        stamper.add_entry(neg, branch, -1.0)
+        stamper.add_entry(branch, pos, 1.0)
+        stamper.add_entry(branch, neg, -1.0)
+        stamper.add_rhs(branch, value)
+
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        self._stamp_branch(stamper, self.dc)
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        self._stamp_branch(stamper, self.ac)
+
+    def branch_current(self, solution: np.ndarray) -> float:
+        """Current through the source (positive into the + terminal)."""
+        return float(np.real(solution[self.branch_indices[0]]))
+
+
+class CurrentSource(TwoTerminal):
+    """Independent current source pushing ``dc`` amps from + to - internally.
+
+    With the SPICE convention, a positive value pulls current out of the
+    positive node and pushes it into the negative node.
+    """
+
+    def __init__(self, name: str, positive: str, negative: str,
+                 dc: float = 0.0, ac: float = 0.0):
+        super().__init__(name, positive, negative)
+        self.dc = float(dc)
+        self.ac = float(ac)
+
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        stamper.add_current(self.positive_index, self.negative_index, self.dc)
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        stamper.add_current(self.positive_index, self.negative_index, self.ac)
+
+    def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
+        return {"i": self.dc, "v": self.voltage_across(voltages)}
+
+
+class VCCS(Device):
+    """Voltage-controlled current source (transconductance ``gm``)."""
+
+    def __init__(self, name: str, out_positive: str, out_negative: str,
+                 ctrl_positive: str, ctrl_negative: str, gm: float):
+        super().__init__(name, (out_positive, out_negative, ctrl_positive, ctrl_negative))
+        self.gm = float(gm)
+
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        out_p, out_n, ctrl_p, ctrl_n = self.node_indices
+        stamper.add_transconductance(out_p, out_n, ctrl_p, ctrl_n, self.gm)
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        out_p, out_n, ctrl_p, ctrl_n = self.node_indices
+        stamper.add_transconductance(out_p, out_n, ctrl_p, ctrl_n, self.gm)
+
+
+class VCVS(Device):
+    """Voltage-controlled voltage source with gain ``mu`` (one branch unknown)."""
+
+    n_branches = 1
+
+    def __init__(self, name: str, out_positive: str, out_negative: str,
+                 ctrl_positive: str, ctrl_negative: str, mu: float):
+        super().__init__(name, (out_positive, out_negative, ctrl_positive, ctrl_negative))
+        self.mu = float(mu)
+
+    def _stamp(self, stamper) -> None:
+        out_p, out_n, ctrl_p, ctrl_n = self.node_indices
+        branch = self.branch_indices[0]
+        stamper.add_entry(out_p, branch, 1.0)
+        stamper.add_entry(out_n, branch, -1.0)
+        stamper.add_entry(branch, out_p, 1.0)
+        stamper.add_entry(branch, out_n, -1.0)
+        stamper.add_entry(branch, ctrl_p, -self.mu)
+        stamper.add_entry(branch, ctrl_n, self.mu)
+
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        self._stamp(stamper)
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        self._stamp(stamper)

@@ -1,0 +1,82 @@
+"""Modified-nodal-analysis system assembly.
+
+The MNA unknown vector is ``[node voltages (excluding ground), branch
+currents]``.  Devices stamp conductances between node pairs, current
+injections into nodes and branch equations through a :class:`Stamper`, which
+transparently ignores the ground node (index ``-1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Stamper:
+    """Accumulates device stamps into the MNA matrix and right-hand side."""
+
+    def __init__(self, n_nodes: int, n_branches: int, dtype=float):
+        size = n_nodes + n_branches
+        self.n_nodes = int(n_nodes)
+        self.n_branches = int(n_branches)
+        self.matrix = np.zeros((size, size), dtype=dtype)
+        self.rhs = np.zeros(size, dtype=dtype)
+
+    @property
+    def size(self) -> int:
+        return self.n_nodes + self.n_branches
+
+    # ------------------------------------------------------------------ #
+    # element stamps                                                      #
+    # ------------------------------------------------------------------ #
+    def add_entry(self, row: int, col: int, value) -> None:
+        """Add ``value`` at (row, col); either index may be ground (-1)."""
+        if row < 0 or col < 0:
+            return
+        self.matrix[row, col] += value
+
+    def add_rhs(self, row: int, value) -> None:
+        if row < 0:
+            return
+        self.rhs[row] += value
+
+    def add_conductance(self, node_a: int, node_b: int, conductance) -> None:
+        """Stamp a conductance between two nodes (standard 2x2 pattern)."""
+        self.add_entry(node_a, node_a, conductance)
+        self.add_entry(node_b, node_b, conductance)
+        self.add_entry(node_a, node_b, -conductance)
+        self.add_entry(node_b, node_a, -conductance)
+
+    def add_current(self, node_from: int, node_to: int, current) -> None:
+        """Stamp a current flowing from ``node_from`` to ``node_to``.
+
+        Conventionally a current source pushing current into ``node_to``
+        appears as ``+I`` on ``node_to`` and ``-I`` on ``node_from`` in the
+        right-hand side.
+        """
+        self.add_rhs(node_from, -current)
+        self.add_rhs(node_to, current)
+
+    def add_transconductance(self, out_pos: int, out_neg: int,
+                             ctrl_pos: int, ctrl_neg: int, gm) -> None:
+        """Stamp a VCCS: current ``gm * (v_ctrl_pos - v_ctrl_neg)`` from out_pos to out_neg."""
+        self.add_entry(out_pos, ctrl_pos, gm)
+        self.add_entry(out_pos, ctrl_neg, -gm)
+        self.add_entry(out_neg, ctrl_pos, -gm)
+        self.add_entry(out_neg, ctrl_neg, gm)
+
+    def add_gmin(self, gmin: float) -> None:
+        """Add a small conductance from every node to ground (convergence aid)."""
+        for node in range(self.n_nodes):
+            self.matrix[node, node] += gmin
+
+    # ------------------------------------------------------------------ #
+    # solving                                                             #
+    # ------------------------------------------------------------------ #
+    def solve(self) -> np.ndarray:
+        """Solve the assembled linear system."""
+        return np.linalg.solve(self.matrix, self.rhs)
+
+    def solve_lstsq(self) -> np.ndarray:
+        """Least-squares fallback for singular systems (floating nodes)."""
+        solution, *_ = np.linalg.lstsq(self.matrix, self.rhs, rcond=None)
+        return solution

@@ -1,0 +1,75 @@
+"""DC and temperature sweeps built on the operating-point solver."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.netlist import Circuit
+
+
+def dc_sweep(circuit: Circuit, set_value: Callable[[float], None],
+             values: np.ndarray, observe: str,
+             temperature: float = 27.0) -> tuple[np.ndarray, np.ndarray]:
+    """Sweep a source value and record one node voltage.
+
+    Parameters
+    ----------
+    set_value:
+        Callback that mutates the circuit for each sweep value (e.g. sets a
+        :class:`VoltageSource` ``dc`` attribute).
+    values:
+        The sweep values.
+    observe:
+        Node name whose DC voltage is recorded.
+
+    Returns
+    -------
+    (values, observed_voltages)
+    """
+    values = np.asarray(values, dtype=float)
+    observed = np.empty(values.shape[0])
+    previous: np.ndarray | None = None
+    for index, value in enumerate(values):
+        set_value(float(value))
+        op = dc_operating_point(circuit, temperature=temperature,
+                                initial_guess=previous)
+        observed[index] = op.voltage(observe)
+        previous = op.voltages
+    return values, observed
+
+
+def temperature_sweep(circuit: Circuit, temperatures: np.ndarray,
+                      observe: str) -> tuple[np.ndarray, np.ndarray, list[OperatingPoint]]:
+    """Solve the operating point across temperature and record one node.
+
+    This is the analysis behind the bandgap temperature-coefficient metric.
+    """
+    temperatures = np.asarray(temperatures, dtype=float)
+    observed = np.empty(temperatures.shape[0])
+    points: list[OperatingPoint] = []
+    previous: np.ndarray | None = None
+    for index, temperature in enumerate(temperatures):
+        op = dc_operating_point(circuit, temperature=float(temperature),
+                                initial_guess=previous)
+        observed[index] = op.voltage(observe)
+        points.append(op)
+        previous = op.voltages
+    return temperatures, observed, points
+
+
+def temperature_coefficient_ppm(temperatures: np.ndarray, values: np.ndarray) -> float:
+    """Box-method temperature coefficient in ppm/degC.
+
+    ``TC = (max - min) / (mean * temperature_span) * 1e6`` -- the standard
+    figure reported for bandgap references.
+    """
+    temperatures = np.asarray(temperatures, dtype=float)
+    values = np.asarray(values, dtype=float)
+    span = float(temperatures.max() - temperatures.min())
+    mean = float(np.mean(values))
+    if span <= 0 or abs(mean) < 1e-18:
+        return float("inf")
+    return float((values.max() - values.min()) / (abs(mean) * span) * 1e6)

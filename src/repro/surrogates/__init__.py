@@ -1,0 +1,5 @@
+"""Non-GP surrogate models (random forest for the SMAC-RF baseline)."""
+
+from repro.surrogates.random_forest import DecisionTreeRegressor, RandomForestRegressor
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor"]

@@ -1,0 +1,191 @@
+"""Regression trees and random forests.
+
+The paper compares against SMAC-RF, whose defining component is a
+random-forest surrogate with predictive uncertainty taken from the spread of
+per-tree predictions.  scikit-learn is not available offline, so this module
+provides a compact CART implementation sufficient for that baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.utils.random import RandomState, as_rng
+from repro.utils.validation import check_matrix, check_vector
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves store a prediction, internal nodes a split."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with variance-reduction splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth.
+    min_samples_split / min_samples_leaf:
+        Pre-pruning controls.
+    max_features:
+        Number of features considered per split (``None`` = all); random
+        forests pass a subset size here.
+    """
+
+    def __init__(self, max_depth: int = 12, min_samples_split: int = 4,
+                 min_samples_leaf: int = 2, max_features: int | None = None,
+                 rng: RandomState = None):
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.rng = as_rng(rng)
+        self._root: _Node | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, x, y) -> "DecisionTreeRegressor":
+        x = check_matrix(x, "x")
+        y = check_vector(y, "y")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        self.n_features_ = x.shape[1]
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> tuple[int, float, float] | None:
+        n, d = x.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = self.rng.choice(d, size=self.max_features, replace=False)
+        parent_sse = float(np.sum((y - y.mean()) ** 2))
+        best: tuple[int, float, float] | None = None
+        best_gain = 1e-12
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            xs, ys = x[order, feature], y[order]
+            # Candidate thresholds: midpoints between distinct consecutive values.
+            cum = np.cumsum(ys)
+            cum_sq = np.cumsum(ys**2)
+            total, total_sq = cum[-1], cum_sq[-1]
+            for split_index in range(self.min_samples_leaf,
+                                     n - self.min_samples_leaf + 1):
+                if split_index >= n:
+                    break
+                if xs[split_index - 1] == xs[split_index]:
+                    continue
+                left_n = split_index
+                right_n = n - split_index
+                left_sum, left_sq = cum[split_index - 1], cum_sq[split_index - 1]
+                right_sum, right_sq = total - left_sum, total_sq - left_sq
+                left_sse = left_sq - left_sum**2 / left_n
+                right_sse = right_sq - right_sum**2 / right_n
+                gain = parent_sse - (left_sse + right_sse)
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = 0.5 * (xs[split_index - 1] + xs[split_index])
+                    best = (int(feature), float(threshold), float(gain))
+        return best
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()))
+        if (depth >= self.max_depth or y.shape[0] < self.min_samples_split
+                or np.all(y == y[0])):
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeRegressor must be fitted before prediction")
+        x = check_matrix(x, "x", n_cols=self.n_features_)
+        out = np.empty(x.shape[0])
+        for index, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[index] = node.prediction
+        return out
+
+
+class RandomForestRegressor:
+    """Bagged regression trees with empirical predictive variance.
+
+    ``predict`` returns ``(mean, variance)`` so the forest is a drop-in
+    surrogate for the acquisition functions in :mod:`repro.acquisition`.
+    """
+
+    def __init__(self, n_trees: int = 32, max_depth: int = 12,
+                 min_samples_leaf: int = 2, max_features: str | int | None = "sqrt",
+                 rng: RandomState = None):
+        if n_trees < 1:
+            raise ValueError("n_trees must be at least 1")
+        self.n_trees = int(n_trees)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.rng = as_rng(rng)
+        self.trees_: list[DecisionTreeRegressor] = []
+        self.n_features_: int | None = None
+
+    def _resolve_max_features(self, d: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if self.max_features == "third":
+            return max(1, d // 3)
+        return min(int(self.max_features), d)
+
+    def fit(self, x, y) -> "RandomForestRegressor":
+        x = check_matrix(x, "x")
+        y = check_vector(y, "y")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        self.n_features_ = x.shape[1]
+        n = x.shape[0]
+        max_features = self._resolve_max_features(x.shape[1])
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            indices = self.rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=self.rng,
+            )
+            tree.fit(x[indices], y[indices])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x) -> tuple[np.ndarray, np.ndarray]:
+        if not self.trees_:
+            raise NotFittedError("RandomForestRegressor must be fitted before prediction")
+        x = check_matrix(x, "x", n_cols=self.n_features_)
+        per_tree = np.stack([tree.predict(x) for tree in self.trees_], axis=0)
+        mean = per_tree.mean(axis=0)
+        variance = per_tree.var(axis=0) + 1e-9
+        return mean, variance

@@ -1,0 +1,90 @@
+"""Feature scalers used by surrogates and design spaces.
+
+GP surrogates in this package always work on standardized outputs and
+unit-cube inputs; these small scalers keep that bookkeeping in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.utils.validation import check_matrix
+
+
+class StandardScaler:
+    """Standardise columns to zero mean and unit variance.
+
+    Columns with (numerically) zero variance are left with scale 1 so that
+    transforming constant data is a no-op rather than a division by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x) -> "StandardScaler":
+        x = check_matrix(x, "x")
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale = np.where(scale < 1e-12, 1.0, scale)
+        self.scale_ = scale
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler used before fit()")
+
+    def transform(self, x) -> np.ndarray:
+        self._require_fitted()
+        x = check_matrix(x, "x", n_cols=self.mean_.shape[0])
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x) -> np.ndarray:
+        self._require_fitted()
+        x = check_matrix(x, "x", n_cols=self.mean_.shape[0])
+        return x * self.scale_ + self.mean_
+
+    def inverse_transform_variance(self, var) -> np.ndarray:
+        """Map variances from standardized space back to the original space."""
+        self._require_fitted()
+        var = np.asarray(var, dtype=float)
+        return var * self.scale_.reshape(1, -1) ** 2
+
+
+class MinMaxScaler:
+    """Scale columns to the unit interval given explicit or fitted bounds."""
+
+    def __init__(self, lower=None, upper=None) -> None:
+        self.lower_ = None if lower is None else np.asarray(lower, dtype=float)
+        self.upper_ = None if upper is None else np.asarray(upper, dtype=float)
+
+    def fit(self, x) -> "MinMaxScaler":
+        x = check_matrix(x, "x")
+        self.lower_ = x.min(axis=0)
+        self.upper_ = x.max(axis=0)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.lower_ is None or self.upper_ is None:
+            raise NotFittedError("MinMaxScaler used before fit() or without bounds")
+
+    def _span(self) -> np.ndarray:
+        span = self.upper_ - self.lower_
+        return np.where(np.abs(span) < 1e-15, 1.0, span)
+
+    def transform(self, x) -> np.ndarray:
+        self._require_fitted()
+        x = check_matrix(x, "x", n_cols=self.lower_.shape[0])
+        return (x - self.lower_) / self._span()
+
+    def fit_transform(self, x) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x) -> np.ndarray:
+        self._require_fitted()
+        x = check_matrix(x, "x", n_cols=self.lower_.shape[0])
+        return x * self._span() + self.lower_

@@ -1,0 +1,66 @@
+"""Small statistical helpers: normal distribution functions and run summaries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+
+def norm_pdf(z) -> np.ndarray:
+    """Standard normal probability density function."""
+    z = np.asarray(z, dtype=float)
+    return np.exp(-0.5 * z * z) / _SQRT2PI
+
+
+def norm_cdf(z) -> np.ndarray:
+    """Standard normal cumulative distribution function (via erf)."""
+    z = np.asarray(z, dtype=float)
+    try:
+        from scipy.special import erf
+        return 0.5 * (1.0 + erf(z / _SQRT2))
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return 0.5 * (1.0 + np.vectorize(math.erf)(z / _SQRT2))
+
+
+def norm_logpdf(x, mean, var) -> np.ndarray:
+    """Log density of ``N(mean, var)`` evaluated at ``x`` (elementwise)."""
+    x = np.asarray(x, dtype=float)
+    mean = np.asarray(mean, dtype=float)
+    var = np.maximum(np.asarray(var, dtype=float), 1e-12)
+    return -0.5 * (np.log(2.0 * np.pi * var) + (x - mean) ** 2 / var)
+
+
+def running_best(values, minimize: bool = False) -> np.ndarray:
+    """Cumulative best-so-far curve of ``values``.
+
+    This is the standard "performance versus simulation budget" curve used
+    throughout the paper's figures.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return values.copy()
+    return np.minimum.accumulate(values) if minimize else np.maximum.accumulate(values)
+
+
+def summarize_runs(curves) -> dict[str, np.ndarray]:
+    """Aggregate repeated-run curves into mean/std/median statistics.
+
+    Parameters
+    ----------
+    curves:
+        A sequence of equal-length 1-D arrays, one per random seed.
+    """
+    arr = np.asarray([np.asarray(c, dtype=float) for c in curves])
+    if arr.ndim != 2:
+        raise ValueError("curves must be a sequence of equal-length 1-D arrays")
+    return {
+        "mean": arr.mean(axis=0),
+        "std": arr.std(axis=0),
+        "median": np.median(arr, axis=0),
+        "min": arr.min(axis=0),
+        "max": arr.max(axis=0),
+    }

@@ -1,0 +1,69 @@
+"""Shared fixtures: cheap synthetic problems so BO tests avoid circuit simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo.design_space import DesignSpace, DesignVariable
+from repro.bo.problem import Constraint, OptimizationProblem
+
+
+class QuadraticProblem(OptimizationProblem):
+    """Cheap unconstrained maximisation problem: f(x) = -(x - 0.6)^2 summed."""
+
+    def __init__(self, dim: int = 3):
+        space = DesignSpace([DesignVariable(f"x{i}", 0.0, 1.0) for i in range(dim)])
+        super().__init__(name="quadratic", design_space=space, objective="f",
+                         minimize=False, constraints=[])
+
+    def simulate(self, design):
+        x = np.array([design[f"x{i}"] for i in range(self.design_space.dim)])
+        return {"f": float(-np.sum((x - 0.6) ** 2))}
+
+
+class ConstrainedToyProblem(OptimizationProblem):
+    """Cheap constrained minimisation: minimise sum(x) s.t. prod-like metrics."""
+
+    def __init__(self, dim: int = 3):
+        space = DesignSpace([DesignVariable(f"x{i}", 0.0, 1.0) for i in range(dim)])
+        constraints = [Constraint("g1", 0.5, "ge"), Constraint("g2", 1.5, "le")]
+        super().__init__(name="constrained_toy", design_space=space, objective="cost",
+                         minimize=True, constraints=constraints)
+
+    def simulate(self, design):
+        x = np.array([design[f"x{i}"] for i in range(self.design_space.dim)])
+        return {
+            "cost": float(np.sum(x)),
+            "g1": float(x[0] + x[1]),           # needs to be >= 0.5
+            "g2": float(np.sum(x ** 2)),         # needs to be <= 1.5
+        }
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quadratic_problem():
+    return QuadraticProblem(dim=3)
+
+
+@pytest.fixture
+def constrained_problem():
+    return ConstrainedToyProblem(dim=3)
+
+
+@pytest.fixture(scope="session")
+def two_stage_problem():
+    from repro.circuits import TwoStageOpAmp
+    return TwoStageOpAmp("180nm")
+
+
+@pytest.fixture(scope="session")
+def two_stage_evaluations(two_stage_problem):
+    """A small shared batch of two-stage evaluations (simulation is the slow part)."""
+    rng = np.random.default_rng(7)
+    designs = two_stage_problem.design_space.sample(25, rng=rng)
+    return two_stage_problem.evaluate_batch(designs)

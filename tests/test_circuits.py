@@ -1,0 +1,167 @@
+"""Tests for the circuit sizing testbenches and the FOM wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    BandgapReference,
+    FOMProblem,
+    ThreeStageOpAmp,
+    TwoStageOpAmp,
+    available_problems,
+    make_problem,
+)
+
+GOOD_TWO_STAGE = dict(w_diff=20e-6, l_diff=0.5e-6, w_load=10e-6, l_load=0.5e-6,
+                      w_out=60e-6, l_out=0.3e-6, c_comp=2e-12, r_zero=2e3,
+                      i_bias1=20e-6, i_bias2=100e-6)
+GOOD_THREE_STAGE = dict(w_diff=20e-6, l_diff=0.5e-6, w_load=10e-6, l_load=0.5e-6,
+                        w_mid=30e-6, l_mid=0.35e-6, w_out=80e-6, l_out=0.25e-6,
+                        c_m1=2e-12, c_m2=0.5e-12, i_bias1=10e-6, i_bias23=80e-6)
+GOOD_BANDGAP = dict(r_ptat=100e3, r_out=600e3, w_mirror=10e-6, l_mirror=1e-6,
+                    w_amp_in=5e-6, l_amp_in=0.5e-6, i_amp=1e-6, area_ratio=8.0)
+
+
+class TestRegistry:
+    def test_available_problems(self):
+        assert set(available_problems()) == {"two_stage_opamp", "three_stage_opamp",
+                                             "bandgap"}
+
+    def test_make_problem(self):
+        problem = make_problem("two_stage_opamp", "40nm")
+        assert problem.technology.name == "40nm"
+        with pytest.raises(KeyError):
+            make_problem("pll")
+
+
+class TestTwoStageOpAmp:
+    def test_design_space_matches_paper_variables(self, two_stage_problem):
+        names = two_stage_problem.design_space.names
+        assert "c_comp" in names and "r_zero" in names
+        assert "i_bias1" in names and "i_bias2" in names
+        assert two_stage_problem.design_space.dim == 10
+
+    def test_constraints_match_eq15(self, two_stage_problem):
+        specs = {c.name: (c.threshold, c.sense) for c in two_stage_problem.constraints}
+        assert specs == {"gain": (60.0, "ge"), "pm": (60.0, "ge"), "gbw": (4.0, "ge")}
+        assert two_stage_problem.objective == "i_total"
+        assert two_stage_problem.minimize
+
+    def test_good_design_meets_spec(self, two_stage_problem):
+        metrics = two_stage_problem.simulate(GOOD_TWO_STAGE)
+        assert metrics["gain"] > 60.0
+        assert metrics["pm"] > 60.0
+        assert metrics["gbw"] > 4.0
+        assert 10.0 < metrics["i_total"] < 1000.0
+
+    def test_larger_compensation_cap_lowers_gbw(self, two_stage_problem):
+        small_cc = dict(GOOD_TWO_STAGE, c_comp=1e-12)
+        large_cc = dict(GOOD_TWO_STAGE, c_comp=8e-12)
+        assert (two_stage_problem.simulate(large_cc)["gbw"]
+                < two_stage_problem.simulate(small_cc)["gbw"])
+
+    def test_40nm_variant_relaxes_gain_spec(self):
+        problem = TwoStageOpAmp("40nm")
+        gain_constraint = next(c for c in problem.constraints if c.name == "gain")
+        assert gain_constraint.threshold == 50.0
+
+    def test_evaluation_feasibility_flag(self, two_stage_problem):
+        design = two_stage_problem.design_space.from_dict(GOOD_TWO_STAGE)
+        evaluation = two_stage_problem.evaluate(design)
+        assert evaluation.feasible
+        assert evaluation.objective == evaluation.metrics["i_total"]
+
+    def test_random_designs_mostly_infeasible(self, two_stage_problem, two_stage_evaluations):
+        feasible = sum(e.feasible for e in two_stage_evaluations)
+        assert feasible < len(two_stage_evaluations) * 0.5
+
+    def test_failed_metrics_violate_constraints(self, two_stage_problem):
+        metrics = two_stage_problem.failed_metrics()
+        assert metrics["gain"] < 60.0 and metrics["i_total"] > 1e5
+
+    def test_describe(self, two_stage_problem):
+        info = two_stage_problem.describe()
+        assert info["technology"] == "180nm"
+        assert info["n_design_variables"] == 10
+
+
+class TestThreeStageOpAmp:
+    def test_dimensionality_differs_from_two_stage(self, two_stage_problem):
+        problem = ThreeStageOpAmp("180nm")
+        assert problem.design_space.dim == 12
+        assert problem.design_space.dim != two_stage_problem.design_space.dim
+
+    def test_constraints_match_eq16(self):
+        problem = ThreeStageOpAmp("180nm")
+        specs = {c.name: c.threshold for c in problem.constraints}
+        assert specs == {"gain": 80.0, "pm": 60.0, "gbw": 2.0}
+
+    def test_good_design_has_high_gain_and_positive_margin(self):
+        problem = ThreeStageOpAmp("180nm")
+        metrics = problem.simulate(GOOD_THREE_STAGE)
+        assert metrics["gain"] > 80.0
+        assert metrics["gbw"] > 2.0
+        assert metrics["pm"] > 45.0
+
+    def test_three_stage_gain_exceeds_two_stage(self, two_stage_problem):
+        three = ThreeStageOpAmp("180nm").simulate(GOOD_THREE_STAGE)
+        two = two_stage_problem.simulate(GOOD_TWO_STAGE)
+        assert three["gain"] > two["gain"]
+
+    def test_removing_compensation_degrades_phase_margin(self):
+        problem = ThreeStageOpAmp("180nm")
+        compensated = problem.simulate(GOOD_THREE_STAGE)
+        uncompensated = problem.simulate(dict(GOOD_THREE_STAGE, c_m1=0.1e-12,
+                                              c_m2=0.05e-12))
+        assert uncompensated["pm"] < compensated["pm"]
+
+
+class TestBandgap:
+    def test_constraints_match_eq17(self):
+        problem = BandgapReference("180nm")
+        specs = {c.name: (c.threshold, c.sense) for c in problem.constraints}
+        assert specs == {"i_total": (6.0, "le"), "psrr": (50.0, "ge")}
+        assert problem.objective == "tc"
+
+    def test_good_design_metrics(self):
+        problem = BandgapReference("180nm")
+        metrics = problem.simulate(GOOD_BANDGAP)
+        assert metrics["i_total"] < 6.0
+        assert metrics["psrr"] > 40.0
+        assert metrics["tc"] < 1e4
+        assert 0.3 < metrics["vref"] < 1.5
+
+    def test_larger_ptat_resistor_lowers_current(self):
+        problem = BandgapReference("180nm")
+        small = problem.simulate(dict(GOOD_BANDGAP, r_ptat=50e3))
+        large = problem.simulate(dict(GOOD_BANDGAP, r_ptat=300e3))
+        assert large["i_total"] < small["i_total"]
+
+    def test_design_space_has_eight_variables(self):
+        assert BandgapReference("180nm").design_space.dim == 8
+
+
+class TestFOMProblem:
+    def test_fom_wrapper_metrics(self, two_stage_problem):
+        fom = FOMProblem(two_stage_problem, n_normalization_samples=8, rng=0)
+        metrics = fom.simulate(GOOD_TWO_STAGE)
+        assert "fom" in metrics and "gain" in metrics
+        assert fom.metric_names[0] == "fom"
+        assert not fom.minimize and fom.constraints == []
+
+    def test_better_design_gets_higher_fom(self, two_stage_problem):
+        fom = FOMProblem(two_stage_problem, n_normalization_samples=8, rng=0)
+        good = fom.fom_from_metrics({"i_total": 100.0, "gain": 70.0, "pm": 70.0, "gbw": 10.0})
+        bad = fom.fom_from_metrics({"i_total": 500.0, "gain": 20.0, "pm": 10.0, "gbw": 0.5})
+        assert good > bad
+
+    def test_exceeding_spec_earns_no_extra_credit(self, two_stage_problem):
+        fom = FOMProblem(two_stage_problem, n_normalization_samples=8, rng=0)
+        at_spec = fom.fom_from_metrics({"i_total": 100.0, "gain": 60.0, "pm": 60.0, "gbw": 4.0})
+        above_spec = fom.fom_from_metrics({"i_total": 100.0, "gain": 90.0, "pm": 80.0, "gbw": 40.0})
+        assert above_spec == pytest.approx(at_spec, abs=1e-9)
+
+    def test_explicit_normalization_skips_sampling(self, two_stage_problem):
+        normalization = {name: (0.0, 1.0) for name in two_stage_problem.metric_names}
+        fom = FOMProblem(two_stage_problem, normalization=normalization)
+        assert fom.normalization == normalization

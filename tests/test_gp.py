@@ -1,0 +1,173 @@
+"""Tests for GP regression and the multi-output wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.errors import NotFittedError
+from repro.gp import GPRegression, MultiOutputGP
+from repro.kernels import Matern52Kernel, NeuralKernel, RBFKernel
+
+
+def _toy_data(rng, n=30, d=2):
+    x = rng.uniform(0, 1, size=(n, d))
+    y = np.sin(5 * x[:, 0]) + x[:, 1] ** 2 + 0.01 * rng.normal(size=n)
+    return x, y
+
+
+class TestGPRegression:
+    def test_interpolates_training_data(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=40)
+        mean, _ = gp.predict(x)
+        assert np.max(np.abs(mean - y)) < 0.15
+
+    def test_generalises(self, rng):
+        x, y = _toy_data(rng, n=50)
+        x_test = rng.uniform(0, 1, size=(20, 2))
+        y_test = np.sin(5 * x_test[:, 0]) + x_test[:, 1] ** 2
+        gp = GPRegression().fit(x, y, n_iters=60)
+        mean, _ = gp.predict(x_test)
+        assert np.sqrt(np.mean((mean - y_test) ** 2)) < 0.3
+
+    def test_variance_lower_near_training_points(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=40)
+        _, var_train = gp.predict(x[:5])
+        _, var_far = gp.predict(np.full((1, 2), 5.0))
+        assert var_far[0] > var_train.mean()
+
+    def test_training_improves_likelihood(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=60)
+        assert len(gp.training_history_) > 2
+        assert gp.training_history_[-1] <= gp.training_history_[0]
+
+    def test_return_std(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=20)
+        mean, std = gp.predict(x[:3], return_std=True)
+        _, var = gp.predict(x[:3])
+        assert np.allclose(std, np.sqrt(var))
+
+    def test_no_optimize_keeps_hyperparameters(self, rng):
+        x, y = _toy_data(rng)
+        kernel = RBFKernel(2)
+        before = kernel.raw_lengthscale.data.copy()
+        GPRegression(kernel=kernel).fit(x, y, optimize=False)
+        assert np.allclose(kernel.raw_lengthscale.data, before)
+
+    def test_custom_kernels(self, rng):
+        x, y = _toy_data(rng)
+        for kernel in (Matern52Kernel(2), NeuralKernel(2, rng=0)):
+            gp = GPRegression(kernel=kernel).fit(x, y, n_iters=30)
+            mean, var = gp.predict(x[:4])
+            assert np.all(np.isfinite(mean)) and np.all(var > 0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GPRegression().predict(np.zeros((1, 2)))
+
+    def test_mismatched_shapes_raise(self, rng):
+        with pytest.raises(ValueError):
+            GPRegression().fit(rng.normal(size=(5, 2)), rng.normal(size=4))
+
+    def test_kernel_dim_mismatch(self, rng):
+        x, y = _toy_data(rng)
+        with pytest.raises(ValueError):
+            GPRegression(kernel=RBFKernel(5)).fit(x, y)
+
+    def test_single_point_fit(self):
+        gp = GPRegression().fit(np.array([[0.5, 0.5]]), np.array([1.0]))
+        mean, var = gp.predict(np.array([[0.5, 0.5]]))
+        assert np.isfinite(mean[0]) and var[0] >= 0
+
+    def test_normalize_y_recovers_offset(self, rng):
+        x = rng.uniform(size=(20, 1))
+        y = 1000.0 + np.sin(3 * x[:, 0])
+        gp = GPRegression().fit(x, y, n_iters=40)
+        mean, _ = gp.predict(x)
+        assert np.abs(mean - y).max() < 1.0
+
+    def test_log_marginal_likelihood_finite(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=20)
+        assert np.isfinite(gp.log_marginal_likelihood())
+
+    def test_noise_property_positive(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=20)
+        assert gp.noise > 0
+
+    def test_sample_posterior_shape(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=20)
+        samples = gp.sample_posterior(x[:6], n_samples=3, rng=rng)
+        assert samples.shape == (3, 6)
+
+    def test_predict_tensor_matches_predict(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=30)
+        x_new = rng.uniform(size=(5, 2))
+        mean_np, var_np = gp.predict(x_new)
+        mean_t, var_t = gp.predict_tensor(Tensor(x_new))
+        assert np.allclose(mean_t.data, mean_np, atol=1e-8)
+        assert np.allclose(var_t.data, var_np, atol=1e-8)
+
+    def test_predict_tensor_gradient_matches_finite_difference(self, rng):
+        x, y = _toy_data(rng)
+        gp = GPRegression().fit(x, y, n_iters=30)
+        x_new = rng.uniform(0.2, 0.8, size=(3, 2))
+        tensor = Tensor(x_new, requires_grad=True)
+        mean, var = gp.predict_tensor(tensor)
+        (mean + var).sum().backward()
+        eps = 1e-5
+        perturbed = x_new.copy()
+        perturbed[1, 0] += eps
+        minus = x_new.copy()
+        minus[1, 0] -= eps
+
+        def scalar(z):
+            m, v = gp.predict(z)
+            return float((m + v).sum())
+
+        numeric = (scalar(perturbed) - scalar(minus)) / (2 * eps)
+        assert tensor.grad[1, 0] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+
+class TestMultiOutputGP:
+    def test_fits_each_output(self, rng):
+        x, y = _toy_data(rng)
+        outputs = np.column_stack([y, -2.0 * y + 3.0])
+        model = MultiOutputGP().fit(x, outputs, n_iters=30)
+        mean, var = model.predict(x)
+        assert mean.shape == (x.shape[0], 2)
+        assert var.shape == (x.shape[0], 2)
+        assert np.abs(mean - outputs).max() < 0.5
+
+    def test_len_and_getitem(self, rng):
+        x, y = _toy_data(rng)
+        model = MultiOutputGP().fit(x, np.column_stack([y, y]), n_iters=10)
+        assert len(model) == 2
+        assert isinstance(model[0], GPRegression)
+
+    def test_kernel_factory_used(self, rng):
+        x, y = _toy_data(rng)
+        model = MultiOutputGP(kernel_factory=lambda d: Matern52Kernel(d))
+        model.fit(x, np.column_stack([y]), n_iters=10)
+        assert isinstance(model[0].kernel, Matern52Kernel)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MultiOutputGP().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            MultiOutputGP().fit(rng.normal(size=(5, 2)), rng.normal(size=(4, 2)))
+
+    def test_predict_tensor_shapes(self, rng):
+        x, y = _toy_data(rng)
+        model = MultiOutputGP().fit(x, np.column_stack([y, y * 2]), n_iters=10)
+        mean, var = model.predict_tensor(Tensor(x[:4]))
+        assert mean.shape == (4, 2)
+        assert var.shape == (4, 2)

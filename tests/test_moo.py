@@ -1,0 +1,173 @@
+"""Tests for Pareto utilities and NSGA-II."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.moo import (
+    NSGA2,
+    crowding_distance,
+    fast_non_dominated_sort,
+    hypervolume_2d,
+    is_dominated,
+    pareto_front_mask,
+)
+
+
+class TestDominance:
+    def test_is_dominated_basic(self):
+        assert is_dominated([2.0, 2.0], [1.0, 1.0])
+        assert not is_dominated([1.0, 1.0], [2.0, 2.0])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not is_dominated([1.0, 1.0], [1.0, 1.0])
+
+    def test_partial_tradeoff(self):
+        assert not is_dominated([1.0, 3.0], [2.0, 1.0])
+
+    def test_pareto_front_mask_simple(self):
+        objectives = np.array([[1.0, 4.0], [2.0, 2.0], [4.0, 1.0], [3.0, 3.0]])
+        mask = pareto_front_mask(objectives)
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_pareto_front_mask_duplicates(self):
+        objectives = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        mask = pareto_front_mask(objectives)
+        assert mask[0] and mask[1] and not mask[2]
+
+    def test_fast_non_dominated_sort_fronts(self):
+        objectives = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        fronts = fast_non_dominated_sort(objectives)
+        assert [front.tolist() for front in fronts] == [[0], [1], [2]]
+
+    def test_fast_sort_partitions_everything(self, rng):
+        objectives = rng.normal(size=(30, 3))
+        fronts = fast_non_dominated_sort(objectives)
+        flattened = sorted(int(i) for front in fronts for i in front)
+        assert flattened == list(range(30))
+
+    def test_first_front_is_pareto_mask(self, rng):
+        objectives = rng.normal(size=(25, 2))
+        fronts = fast_non_dominated_sort(objectives)
+        mask = pareto_front_mask(objectives)
+        assert sorted(fronts[0].tolist()) == sorted(np.nonzero(mask)[0].tolist())
+
+
+class TestCrowding:
+    def test_boundary_points_infinite(self):
+        objectives = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        distance = crowding_distance(objectives)
+        assert np.isinf(distance[0]) and np.isinf(distance[3])
+        assert np.isfinite(distance[1]) and np.isfinite(distance[2])
+
+    def test_two_points_infinite(self):
+        assert np.all(np.isinf(crowding_distance(np.array([[0.0, 1.0], [1.0, 0.0]]))))
+
+    def test_constant_objective_no_nan(self):
+        distance = crowding_distance(np.ones((5, 2)))
+        assert not np.any(np.isnan(distance))
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([[0.0, 0.0]], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_two_points(self):
+        volume = hypervolume_2d([[0.0, 0.5], [0.5, 0.0]], [1.0, 1.0])
+        assert volume == pytest.approx(0.75)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume_2d([[2.0, 2.0]], [1.0, 1.0]) == 0.0
+
+    def test_dominated_points_do_not_add(self):
+        base = hypervolume_2d([[0.0, 0.0]], [1.0, 1.0])
+        extra = hypervolume_2d([[0.0, 0.0], [0.5, 0.5]], [1.0, 1.0])
+        assert extra == pytest.approx(base)
+
+
+def _zdt1_like(x):
+    """A simple bi-objective test problem on [0, 1]^d."""
+    x = np.atleast_2d(x)
+    f1 = x[:, 0]
+    g = 1.0 + 9.0 * x[:, 1:].mean(axis=1)
+    f2 = g * (1.0 - np.sqrt(np.clip(f1 / g, 0, 1)))
+    return np.column_stack([f1, f2])
+
+
+class TestNSGA2:
+    def test_result_shapes(self, rng):
+        nsga = NSGA2(pop_size=20, n_generations=5, rng=rng)
+        result = nsga.minimize(_zdt1_like, np.array([[0.0, 1.0]] * 4))
+        assert result.x.shape == (20, 4)
+        assert result.objectives.shape == (20, 2)
+        assert result.pareto_x.shape[0] >= 1
+        assert result.n_generations == 5
+
+    def test_respects_bounds(self, rng):
+        nsga = NSGA2(pop_size=16, n_generations=5, rng=rng)
+        bounds = np.array([[0.2, 0.4]] * 3)
+        result = nsga.minimize(_zdt1_like, bounds)
+        assert np.all(result.x >= 0.2 - 1e-12) and np.all(result.x <= 0.4 + 1e-12)
+
+    def test_improves_over_random(self, rng):
+        bounds = np.array([[0.0, 1.0]] * 5)
+        nsga = NSGA2(pop_size=30, n_generations=25, rng=rng)
+        result = nsga.minimize(_zdt1_like, bounds)
+        hv_nsga = hypervolume_2d(result.pareto_objectives, [1.1, 10.0])
+        random_points = _zdt1_like(rng.uniform(size=(30, 5)))
+        hv_random = hypervolume_2d(random_points, [1.1, 10.0])
+        assert hv_nsga > hv_random
+
+    def test_single_objective_degenerates_to_minimum(self, rng):
+        def single(x):
+            return np.sum((np.atleast_2d(x) - 0.3) ** 2, axis=1)
+
+        nsga = NSGA2(pop_size=24, n_generations=25, rng=rng)
+        result = nsga.minimize(single, np.array([[0.0, 1.0]] * 3))
+        assert result.pareto_objectives.min() < 0.01
+
+    def test_initial_population_seeded(self, rng):
+        seeds = np.full((4, 2), 0.5)
+        nsga = NSGA2(pop_size=8, n_generations=1, rng=rng)
+        result = nsga.minimize(_zdt1_like, np.array([[0.0, 1.0]] * 2),
+                               initial_population=seeds)
+        assert result.x.shape == (8, 2)
+
+    def test_nonfinite_objectives_handled(self, rng):
+        def bad(x):
+            values = _zdt1_like(x)
+            values[::2] = np.nan
+            return values
+
+        nsga = NSGA2(pop_size=12, n_generations=3, rng=rng)
+        result = nsga.minimize(bad, np.array([[0.0, 1.0]] * 2))
+        assert np.all(np.isfinite(result.objectives))
+
+    def test_pop_size_validation(self):
+        with pytest.raises(ValueError):
+            NSGA2(pop_size=2)
+
+    def test_invalid_bounds(self, rng):
+        nsga = NSGA2(pop_size=8, n_generations=1, rng=rng)
+        with pytest.raises(ValueError):
+            nsga.minimize(_zdt1_like, np.array([[1.0, 0.0]] * 2))
+
+    def test_objective_row_mismatch_rejected(self, rng):
+        nsga = NSGA2(pop_size=8, n_generations=1, rng=rng)
+        with pytest.raises(ValueError):
+            nsga.minimize(lambda x: np.zeros((3, 2)), np.array([[0.0, 1.0]] * 2))
+
+
+class TestParetoProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 25))
+    def test_pareto_front_nonempty_and_mutually_nondominated(self, n):
+        rng = np.random.default_rng(n)
+        objectives = rng.normal(size=(n, 3))
+        mask = pareto_front_mask(objectives)
+        front = objectives[mask]
+        assert front.shape[0] >= 1
+        for i in range(front.shape[0]):
+            for j in range(front.shape[0]):
+                if i != j:
+                    assert not is_dominated(front[i], front[j])

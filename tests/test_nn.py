@@ -1,0 +1,164 @@
+"""Tests for repro.nn layers, parameter management and initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import MLP, Identity, Linear, Module, Parameter, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn import init
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        assert layer(np.ones((5, 4))).shape == (5, 3)
+
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(x).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_invalid_init_scheme(self):
+        with pytest.raises(ValueError):
+            Linear(2, 2, init_scheme="bogus")
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        loss = (layer(np.ones((4, 3))) ** 2).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestActivationsAndContainers:
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid()(rng.normal(size=(10,)) * 5)
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_tanh_range(self, rng):
+        out = Tanh()(rng.normal(size=(10,)) * 5)
+        assert np.all(np.abs(out.data) <= 1)
+
+    def test_relu_nonnegative(self, rng):
+        assert np.all(ReLU()(rng.normal(size=(10,))).data >= 0)
+
+    def test_identity(self, rng):
+        x = rng.normal(size=(3, 3))
+        assert np.allclose(Identity()(x).data, x)
+
+    def test_sequential_order_and_indexing(self, rng):
+        model = Sequential(Linear(2, 4, rng=rng), Tanh(), Linear(4, 1, rng=rng))
+        assert len(model) == 3
+        assert isinstance(model[1], Tanh)
+        assert model(np.ones((5, 2))).shape == (5, 1)
+
+
+class TestMLP:
+    def test_paper_encoder_shape(self, rng):
+        encoder = MLP(10, 8, hidden=(32,), activation="sigmoid", rng=rng)
+        assert encoder(np.ones((6, 10))).shape == (6, 8)
+
+    def test_parameter_count(self, rng):
+        mlp = MLP(4, 2, hidden=(8,), rng=rng)
+        assert mlp.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_output_activation(self, rng):
+        bounded = MLP(3, 2, hidden=(4,), output_activation="sigmoid", rng=rng)
+        out = bounded(np.ones((5, 3)) * 100.0)
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(3, 2, activation="swish")
+
+    def test_training_reduces_loss(self, rng):
+        from repro.optim import Adam
+        mlp = MLP(2, 1, hidden=(16,), activation="tanh", rng=rng)
+        x = rng.uniform(-1, 1, size=(64, 2))
+        y = (x[:, 0] * x[:, 1]).reshape(-1, 1)
+        optimizer = Adam(mlp.parameters(), lr=0.05)
+        losses = []
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = ((mlp(x) - Tensor(y)) ** 2).mean()
+            losses.append(loss.item())
+            loss.backward()
+            optimizer.step()
+        assert losses[-1] < 0.5 * losses[0]
+
+
+class TestModuleBookkeeping:
+    def test_named_parameters_nested(self, rng):
+        mlp = MLP(3, 2, hidden=(4,), rng=rng)
+        names = [name for name, _ in mlp.named_parameters()]
+        assert any("net.children.0.weight" in name for name in names)
+
+    def test_parameters_unique(self, rng):
+        layer = Linear(2, 2, rng=rng)
+
+        class Shared(Module):
+            def __init__(self):
+                self.a = layer
+                self.b = layer
+
+            def forward(self, x):
+                return self.a(x)
+
+        assert len(Shared().parameters()) == 2  # weight + bias, not duplicated
+
+    def test_state_dict_roundtrip(self, rng):
+        mlp = MLP(3, 2, rng=rng)
+        state = mlp.state_dict()
+        for parameter in mlp.parameters():
+            parameter.data = parameter.data + 1.0
+        mlp.load_state_dict(state)
+        fresh = mlp.state_dict()
+        for key in state:
+            assert np.allclose(state[key], fresh[key])
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        mlp = MLP(3, 2, rng=rng)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({"bogus": np.zeros(3)})
+
+    def test_zero_grad(self, rng):
+        layer = Linear(2, 1, rng=rng)
+        (layer(np.ones((3, 2)))).sum().backward()
+        layer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_parameters_in_dict_attribute(self):
+        class WithDict(Module):
+            def __init__(self):
+                self.items = {"a": Parameter([1.0]), "b": Parameter([2.0])}
+
+            def forward(self, x):
+                return x
+
+        assert len(WithDict().parameters()) == 2
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self, rng):
+        w = init.xavier_uniform(10, 10, rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 20) + 1e-12)
+
+    def test_xavier_normal_shape(self, rng):
+        assert init.xavier_normal(4, 7, rng).shape == (7, 4)
+
+    def test_kaiming_uniform_shape(self, rng):
+        assert init.kaiming_uniform(4, 7, rng).shape == (7, 4)
+
+    def test_near_identity(self, rng):
+        w = init.near_identity(5, 3, rng, noise=0.0)
+        assert np.allclose(w, np.eye(3, 5))

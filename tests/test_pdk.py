@@ -1,0 +1,46 @@
+"""Tests for the synthetic technology cards."""
+
+import pytest
+
+from repro.pdk import Technology, get_technology, make_180nm, make_40nm
+
+
+class TestTechnologyCards:
+    def test_registry_lookup(self):
+        assert get_technology("180nm").name == "180nm"
+        assert get_technology("40NM").name == "40nm"
+        with pytest.raises(KeyError):
+            get_technology("7nm")
+
+    def test_supply_voltages_differ(self):
+        assert make_180nm().vdd > make_40nm().vdd
+
+    def test_40nm_devices_are_faster_but_leakier(self):
+        old, new = make_180nm(), make_40nm()
+        assert new.nmos.kp > old.nmos.kp
+        assert new.nmos.lambda_per_um > old.nmos.lambda_per_um
+        assert new.min_length < old.min_length
+
+    def test_common_mode_is_half_supply(self):
+        technology = make_180nm()
+        assert technology.common_mode == pytest.approx(technology.vdd / 2)
+
+    def test_clamping(self):
+        technology = make_180nm()
+        assert technology.clamp_length(1e-9) == technology.min_length
+        assert technology.clamp_length(1.0) == technology.max_length
+        assert technology.clamp_width(1.0) == technology.max_width
+
+    def test_describe_keys(self):
+        info = make_40nm().describe()
+        assert {"name", "vdd", "nmos_vth", "min_length_nm"} <= set(info)
+
+    def test_polarities(self):
+        technology = make_180nm()
+        assert technology.nmos.polarity == "nmos"
+        assert technology.pmos.polarity == "pmos"
+
+    def test_technology_is_frozen(self):
+        technology = make_180nm()
+        with pytest.raises(Exception):
+            technology.vdd = 5.0

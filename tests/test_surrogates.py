@@ -1,0 +1,85 @@
+"""Tests for the decision-tree and random-forest surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.surrogates import DecisionTreeRegressor, RandomForestRegressor
+
+
+def _step_data(rng, n=120):
+    x = rng.uniform(size=(n, 2))
+    y = np.where(x[:, 0] > 0.5, 2.0, -1.0) + 0.05 * rng.normal(size=n)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_learns_step_function(self, rng):
+        x, y = _step_data(rng)
+        tree = DecisionTreeRegressor(max_depth=4, rng=rng).fit(x, y)
+        predictions = tree.predict(x)
+        assert np.mean((predictions - y) ** 2) < 0.1
+
+    def test_depth_zero_is_constant(self, rng):
+        x, y = _step_data(rng)
+        tree = DecisionTreeRegressor(max_depth=0, rng=rng).fit(x, y)
+        assert np.allclose(tree.predict(x), y.mean())
+
+    def test_constant_target(self, rng):
+        x = rng.uniform(size=(20, 2))
+        tree = DecisionTreeRegressor(rng=rng).fit(x, np.ones(20))
+        assert np.allclose(tree.predict(x), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(rng.normal(size=(5, 2)), rng.normal(size=3))
+
+    def test_max_features_subsampling(self, rng):
+        x, y = _step_data(rng)
+        tree = DecisionTreeRegressor(max_features=1, rng=rng).fit(x, y)
+        assert np.all(np.isfinite(tree.predict(x)))
+
+
+class TestRandomForest:
+    def test_regression_quality(self, rng):
+        x, y = _step_data(rng, n=200)
+        forest = RandomForestRegressor(n_trees=20, rng=rng).fit(x, y)
+        mean, _ = forest.predict(x)
+        assert np.mean((mean - y) ** 2) < 0.2
+
+    def test_variance_positive_and_higher_off_data(self, rng):
+        x, y = _step_data(rng)
+        forest = RandomForestRegressor(n_trees=20, rng=rng).fit(x, y)
+        _, variance = forest.predict(x)
+        assert np.all(variance > 0)
+        # Near the decision boundary the trees disagree more.
+        _, boundary_var = forest.predict(np.array([[0.5, 0.5]]))
+        _, interior_var = forest.predict(np.array([[0.95, 0.5]]))
+        assert boundary_var[0] >= interior_var[0] * 0.5
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_n_trees_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+
+    def test_max_features_modes(self, rng):
+        x, y = _step_data(rng, n=60)
+        for mode in (None, "sqrt", "third", 1):
+            forest = RandomForestRegressor(n_trees=4, max_features=mode, rng=rng)
+            forest.fit(x, y)
+            mean, _ = forest.predict(x[:5])
+            assert mean.shape == (5,)
+
+    def test_deterministic_with_seed(self):
+        rng_data = np.random.default_rng(0)
+        x, y = _step_data(rng_data)
+        first = RandomForestRegressor(n_trees=5, rng=1).fit(x, y).predict(x[:10])[0]
+        second = RandomForestRegressor(n_trees=5, rng=1).fit(x, y).predict(x[:10])[0]
+        assert np.allclose(first, second)
