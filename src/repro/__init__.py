@@ -18,6 +18,9 @@ The package is organised bottom-up:
 * :mod:`repro.core` -- the KATO contribution: KAT-GP, NeukGP and Selective
   Transfer Learning (Algorithm 1).
 * :mod:`repro.baselines` -- MESMOC, USeMOC, TLMBO and human-expert designs.
+* :mod:`repro.engine` -- the batched evaluation engine: pluggable
+  serial/thread/process execution backends, a content-hash design cache and
+  failure isolation for every ``evaluate_batch`` in the library.
 * :mod:`repro.experiments` -- harnesses regenerating every table and figure.
 """
 

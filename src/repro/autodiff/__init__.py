@@ -18,7 +18,7 @@ The public surface mirrors a tiny subset of PyTorch:
 array([[3., 4.]])
 """
 
-from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff.tensor import Tensor, is_grad_enabled, no_grad
 from repro.autodiff import functional
 
-__all__ = ["Tensor", "no_grad", "functional"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

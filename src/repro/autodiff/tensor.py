@@ -10,23 +10,39 @@ for the GP marginal-likelihood training loops used throughout the library.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable
 
 import numpy as np
 
-_GRAD_ENABLED = True
+# Graph-construction state is thread-local so concurrent forward passes (the
+# engine's ThreadBackend runs simulations and surrogate evaluations on worker
+# threads) cannot observe a ``no_grad`` entered on another thread.
+_GRAD_STATE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Whether new tensors participate in graph construction on this thread."""
+    return getattr(_GRAD_STATE, "enabled", True)
+
+
+def _set_grad_enabled(enabled: bool) -> None:
+    _GRAD_STATE.enabled = bool(enabled)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph construction (pure forward passes)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph construction (pure forward passes).
+
+    The flag is per-thread: entering ``no_grad`` on one thread leaves graph
+    construction untouched on every other thread.
+    """
+    previous = is_grad_enabled()
+    _set_grad_enabled(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _set_grad_enabled(previous)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -64,7 +80,7 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -119,7 +135,7 @@ class Tensor:
     def _make(self, data: np.ndarray, parents: Iterable["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         parents = tuple(parents)
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=False)
         out.requires_grad = requires
         if requires:

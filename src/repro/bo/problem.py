@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bo.design_space import DesignSpace
-from repro.utils.validation import check_matrix
 
 
 @dataclass(frozen=True)
@@ -84,6 +83,16 @@ class OptimizationProblem:
         self.objective = objective
         self.minimize = bool(minimize)
         self.constraints = list(constraints)
+        self._engine = None
+
+    def __getstate__(self) -> dict:
+        # The attached engine may own thread/process pools, which cannot be
+        # pickled; a worker receiving a problem rebuilds a default engine
+        # lazily (always serial inside process-pool workers, so fanned-out
+        # optimizers cannot recursively spawn pools of pools).
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     # metric layout                                                       #
@@ -130,10 +139,82 @@ class OptimizationProblem:
         return EvaluatedDesign(x=x.copy(), metrics=dict(metrics), objective=objective,
                                feasible=feasible, violation=violation)
 
+    def failed_metrics(self) -> dict[str, float]:
+        """Metric values reported for designs whose evaluation failed.
+
+        Subclasses override to provide problem-specific "very bad" values;
+        the default pessimises every metric relative to its constraint.
+        """
+        metrics: dict[str, float] = {}
+        large = 1e6
+        metrics[self.objective] = large if self.minimize else -large
+        for constraint in self.constraints:
+            if constraint.sense == "ge":
+                metrics[constraint.name] = constraint.threshold - large
+            else:
+                metrics[constraint.name] = constraint.threshold + large
+        return metrics
+
+    def failed_evaluation(self, x, tag: str = "failed") -> EvaluatedDesign:
+        """A fully-populated record for a design whose simulation crashed.
+
+        Used by the evaluation engine's failure isolation: the optimizers
+        still learn "this region is bad" instead of the whole batch dying.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        metrics = self.failed_metrics()
+        # Keep the metric_names completeness invariant even when a subclass
+        # reports extra metrics but did not override failed_metrics(): NaN is
+        # honest ("never measured") and keeps metrics_matrix() indexable.
+        for name in self.metric_names:
+            metrics.setdefault(name, float("nan"))
+        violation = float(sum(c.violation(metrics[c.name]) for c in self.constraints))
+        feasible = all(c.satisfied(metrics[c.name]) for c in self.constraints)
+        return EvaluatedDesign(x=x.copy(), metrics=metrics,
+                               objective=float(metrics[self.objective]),
+                               feasible=feasible, violation=violation, tag=tag)
+
+    # ------------------------------------------------------------------ #
+    # engine integration                                                  #
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_token(self) -> str:
+        """Identity string mixed into design-cache keys.
+
+        Must distinguish any two problem instances whose :meth:`simulate`
+        could return different values for the same design.  The name is
+        enough for deterministically-configured problems; subclasses with
+        instance-specific state (e.g. randomly estimated normalisation
+        ranges) must extend it so a shared cache never serves one instance's
+        results to another.
+        """
+        return self.name
+
+    @property
+    def engine(self):
+        """The :class:`repro.engine.EvaluationEngine` evaluating batches.
+
+        Created lazily (serial backend, caching on) so plain problems work
+        with zero configuration; replace it with :meth:`attach_engine` to opt
+        into thread/process execution or a shared cache.
+        """
+        if getattr(self, "_engine", None) is None:
+            from repro.engine import EvaluationEngine
+            self._engine = EvaluationEngine(self)
+        return self._engine
+
+    def attach_engine(self, engine) -> None:
+        """Install a configured engine (``None`` restores the lazy default)."""
+        self._engine = engine
+
     def evaluate_batch(self, x) -> list[EvaluatedDesign]:
-        """Evaluate a batch of design vectors (rows of ``x``)."""
-        x = check_matrix(x, "x", n_cols=self.design_space.dim)
-        return [self.evaluate(row) for row in x]
+        """Evaluate a batch of design vectors (rows of ``x``).
+
+        Routed through the attached :class:`~repro.engine.EvaluationEngine`,
+        which validates the matrix and adds design-level caching, backend
+        dispatch and failure isolation on top of row-by-row :meth:`evaluate`.
+        """
+        return self.engine.evaluate_batch(x)
 
     def metrics_matrix(self, evaluations: list[EvaluatedDesign]) -> np.ndarray:
         """Stack evaluations into an ``(n, n_metrics)`` matrix (metric order)."""

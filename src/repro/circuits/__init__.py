@@ -12,7 +12,7 @@ the result as a constrained :class:`repro.bo.OptimizationProblem`:
 figure-of-merit objective of Eq. 2 for the Fig. 4 experiments.
 """
 
-from repro.circuits.base import CircuitSizingProblem
+from repro.circuits.base import CircuitSizingProblem, simulate_design
 from repro.circuits.two_stage_opamp import TwoStageOpAmp
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.bandgap import BandgapReference
@@ -27,4 +27,5 @@ __all__ = [
     "FOMProblem",
     "make_problem",
     "available_problems",
+    "simulate_design",
 ]

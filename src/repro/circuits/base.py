@@ -2,12 +2,30 @@
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.bo.design_space import DesignSpace
 from repro.bo.problem import Constraint, OptimizationProblem
 from repro.pdk import Technology, get_technology
 from repro.spice.ac import logspace_frequencies
+
+
+def simulate_design(problem: "CircuitSizingProblem",
+                    design: dict[str, float]) -> dict[str, float]:
+    """Pure, picklable worker entry point: run one testbench simulation.
+
+    Every circuit problem's :meth:`~CircuitSizingProblem.simulate` is a pure
+    function of the problem's configuration and the named design point -- no
+    hidden mutable state -- so ``(problem, design)`` can be pickled to a
+    process pool and simulated there.  The in-repo engine dispatches the
+    higher-level :func:`repro.engine.evaluate_design_task` (which adds the
+    constraint bookkeeping and failure encoding around ``evaluate``); this
+    wrapper is the minimal metric-level entry point for external
+    distribution frameworks that only want raw simulations.
+    """
+    return problem.simulate(design)
 
 
 class CircuitSizingProblem(OptimizationProblem):
@@ -18,7 +36,12 @@ class CircuitSizingProblem(OptimizationProblem):
     the "failed simulation" metric values (a design whose DC analysis does
     not converge, or whose amplifier is effectively dead, must still return
     a full metric dictionary -- with values that violate the constraints --
-    so the optimizers can learn from it).
+    see :meth:`repro.bo.problem.OptimizationProblem.failed_metrics` -- so
+    the optimizers can learn from it).
+
+    :meth:`simulate` is **pure and picklable**: it builds a fresh netlist
+    per call and touches no shared state, which is what lets the evaluation
+    engine dispatch designs to worker processes (see :func:`simulate_design`).
     """
 
     def __init__(self, name: str, technology: str | Technology,
@@ -29,6 +52,21 @@ class CircuitSizingProblem(OptimizationProblem):
         self.technology = technology
         super().__init__(name=f"{name}_{technology.name}", design_space=design_space,
                          objective=objective, minimize=minimize, constraints=constraints)
+
+    @property
+    def cache_token(self) -> str:
+        """Name (which embeds the technology) plus a digest of scalar config.
+
+        Constructor options that change the testbench without changing the
+        name -- e.g. ``load_capacitance`` -- must be part of the design-cache
+        identity, or a shared cache could serve one configuration's metrics
+        to another.  Hashing every scalar attribute covers present and
+        future options without per-subclass bookkeeping.
+        """
+        scalars = sorted((key, value) for key, value in self.__dict__.items()
+                         if isinstance(value, (bool, int, float, str)))
+        digest = hashlib.sha1(repr(scalars).encode()).hexdigest()[:16]
+        return f"{self.name}:{digest}"
 
     # ------------------------------------------------------------------ #
     # analysis helpers                                                    #
@@ -42,22 +80,6 @@ class CircuitSizingProblem(OptimizationProblem):
         the phase-margin computation.
         """
         return logspace_frequencies(1e-2, 1e10, points_per_decade=10)
-
-    def failed_metrics(self) -> dict[str, float]:
-        """Metric values reported for designs whose simulation failed.
-
-        Subclasses override to provide problem-specific "very bad" values;
-        the default pessimises every metric relative to its constraint.
-        """
-        metrics: dict[str, float] = {}
-        large = 1e6
-        metrics[self.objective] = large if self.minimize else -large
-        for constraint in self.constraints:
-            if constraint.sense == "ge":
-                metrics[constraint.name] = constraint.threshold - large
-            else:
-                metrics[constraint.name] = constraint.threshold + large
-        return metrics
 
     def describe(self) -> dict[str, object]:
         """Summary used by reports and the experiment index."""

@@ -8,6 +8,8 @@ unconstrained objective to *maximise* -- the setting of the paper's Fig. 4.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.bo.problem import OptimizationProblem
@@ -92,6 +94,29 @@ class FOMProblem(OptimizationProblem):
 
     def simulate(self, design: dict[str, float]) -> dict[str, float]:
         metrics = self.base.simulate(design)
+        return {**metrics, "fom": self.fom_from_metrics(metrics)}
+
+    @property
+    def cache_token(self) -> str:
+        """Name plus a digest of the normalisation ranges and base identity.
+
+        Two FOM wrappers may share a name while differing in their
+        randomly-estimated ``(f_min, f_max)`` ranges *or* in their base
+        problem's configuration (e.g. load capacitance), so both are part of
+        the cache identity.
+        """
+        digest = hashlib.sha1(repr(sorted(self.normalization.items())).encode())
+        digest.update(self.base.cache_token.encode())
+        return f"{self.name}:{digest.hexdigest()[:16]}"
+
+    def failed_metrics(self) -> dict[str, float]:
+        """Pessimised base metrics plus the (worst-possible) FOM they imply.
+
+        Keeps the :attr:`metric_names` completeness invariant -- the engine's
+        failure isolation records these for crashed simulations, and
+        :meth:`metrics_matrix` must find every name.
+        """
+        metrics = self.base.failed_metrics()
         return {**metrics, "fom": self.fom_from_metrics(metrics)}
 
     @property

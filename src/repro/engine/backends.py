@@ -1,0 +1,251 @@
+"""Pluggable execution backends for batched design evaluation.
+
+A backend is an object with an ordered :meth:`ExecutionBackend.map`: it takes
+a picklable callable and a list of work items and returns the results in
+input order.  Three implementations cover the useful points of the
+serial/concurrent design space:
+
+* :class:`SerialBackend` -- a plain list comprehension; zero overhead, fully
+  deterministic, the default everywhere.
+* :class:`ThreadBackend` -- a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+  The SPICE solves spend most of their time inside numpy/LAPACK calls that
+  release the GIL, so threads already overlap the linear-algebra portion of
+  independent simulations without any pickling cost.
+* :class:`ProcessBackend` -- a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Escapes the GIL entirely (the Newton stamping loops are pure Python and
+  hold the GIL), at the price of pickling the problem and results per task.
+
+Backends deliberately do **no** error handling: callables submitted to a
+backend must catch their own exceptions and encode failures in their return
+value (see :func:`repro.engine.engine.evaluate_design_task`), so one failed
+work item can never poison the rest of a batch.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted by :func:`default_backend`.
+BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+#: Set in the environment of ProcessBackend workers so code running inside
+#: them (e.g. a whole optimizer fanned out by ``run_repeated``) resolves its
+#: *default* backend to serial instead of recursively spawning ncpu pools of
+#: ncpu workers each.  Explicitly constructed backends are not affected.
+WORKER_ENV_VAR = "REPRO_ENGINE_WORKER"
+
+
+def _mark_worker_process() -> None:  # pragma: no cover - runs in pool workers
+    os.environ[WORKER_ENV_VAR] = "1"
+
+
+#: Thread-local analogue of WORKER_ENV_VAR for ThreadBackend workers: code
+#: running on a pool thread that resolves a *default* backend gets serial,
+#: because dispatching inner tasks onto the same (possibly saturated) pool
+#: deadlocks -- every worker would block waiting for tasks that can never be
+#: scheduled.
+_THREAD_WORKER = threading.local()
+
+
+def _in_worker_context() -> bool:
+    return bool(os.environ.get(WORKER_ENV_VAR)) or getattr(_THREAD_WORKER,
+                                                           "active", False)
+
+
+class ExecutionBackend:
+    """Strategy interface: run a function over work items, preserving order."""
+
+    name = "base"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item and return results in input order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any worker pools (idempotent; serial backends are no-ops)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Evaluate items one after the other on the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class _PooledBackend(ExecutionBackend):
+    """Shared plumbing for executor-based backends (lazy pool creation)."""
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._executor: Executor | None = None
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    @property
+    def executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def _worker_count(self) -> int:
+        return self.max_workers or (os.cpu_count() or 1)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:
+            # Avoid pool (and pickling) overhead for trivial batches.
+            return [fn(items[0])]
+        # Chunking amortises IPC and -- because pickle memoises within one
+        # chunk message -- serialises a problem object shared by the chunk's
+        # items once instead of once per item.  Threads ignore chunksize.
+        chunksize = max(1, len(items) // (self._worker_count() * 4))
+        return list(self.executor.map(fn, items, chunksize=chunksize))
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __getstate__(self) -> dict:
+        # Executors are not picklable; workers receiving a backend (e.g. as
+        # part of a problem object) get a fresh, lazily-created pool.
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        return state
+
+
+class ThreadBackend(_PooledBackend):
+    """Run work items on a thread pool.
+
+    Best when the per-design work is dominated by numpy/LAPACK calls (which
+    release the GIL) and the problem object is expensive to pickle.
+    """
+
+    name = "thread"
+
+    def _worker_count(self) -> int:
+        return self.max_workers or min(32, (os.cpu_count() or 1) + 4)
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self._worker_count(),
+                                  thread_name_prefix="repro-engine")
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        def marked(item: T) -> R:
+            # Flag the executing thread for the duration of the task so any
+            # default_backend() resolved inside it degrades to serial
+            # instead of re-entering (and potentially deadlocking) this pool.
+            # Saved/restored because the single-item shortcut runs on the
+            # calling thread, which may itself already be a worker.
+            previous = getattr(_THREAD_WORKER, "active", False)
+            _THREAD_WORKER.active = True
+            try:
+                return fn(item)
+            finally:
+                _THREAD_WORKER.active = previous
+
+        return super().map(marked, items)
+
+
+class ProcessBackend(_PooledBackend):
+    """Run work items on a process pool.
+
+    Best for CPU-bound pure-Python work (the Newton stamping loop) on
+    multi-core machines.  Work functions and items must be picklable:
+    module-level functions and problem instances qualify, lambdas and
+    closures do not.
+    """
+
+    name = "process"
+
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self._worker_count(),
+                                   initializer=_mark_worker_process)
+
+
+_BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`resolve_backend`."""
+    return sorted(_BACKENDS)
+
+
+def resolve_backend(spec: str | ExecutionBackend | None,
+                    max_workers: int | None = None) -> ExecutionBackend:
+    """Normalise a backend specification to an :class:`ExecutionBackend`.
+
+    ``None`` resolves through :func:`default_backend`; a string names one of
+    :func:`available_backends`; an existing backend instance passes through
+    unchanged (so pools can be shared between engines).
+    """
+    if spec is None:
+        return default_backend(max_workers=max_workers)
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    key = str(spec).lower()
+    if key not in _BACKENDS:
+        raise ValueError(f"unknown backend {spec!r}; available: {available_backends()}")
+    cls = _BACKENDS[key]
+    if cls is SerialBackend:
+        return cls()
+    return cls(max_workers=max_workers)
+
+
+#: Process-wide singletons handed out by :func:`default_backend` so the many
+#: lazily-created per-problem engines of a long experiment sweep share one
+#: worker pool instead of each leaking their own.
+_SHARED_DEFAULTS: dict[str, ExecutionBackend] = {}
+
+
+def default_backend(max_workers: int | None = None) -> ExecutionBackend:
+    """The backend used when none is specified.
+
+    Serial unless the ``REPRO_ENGINE_BACKEND`` environment variable names
+    another backend, which lets deployments opt whole experiment scripts into
+    parallel evaluation without touching call sites.  Inside a
+    :class:`ProcessBackend` worker process or on a :class:`ThreadBackend`
+    worker thread the default is always serial, so fanned-out optimizers
+    cannot recursively spawn pools of pools (or deadlock a thread pool by
+    re-entering it from its own workers).
+
+    Pooled defaults are process-wide singletons: every problem whose engine
+    was created implicitly shares one pool (shutting it down is safe -- the
+    pool is lazily rebuilt on next use).  An explicit ``max_workers`` asks
+    for a specific pool size, so it bypasses the singleton and returns a
+    private backend; construct a backend explicitly for full control.
+    """
+    if _in_worker_context():
+        return SerialBackend()
+    name = str(os.environ.get(BACKEND_ENV_VAR, SerialBackend.name)).lower()
+    if name == SerialBackend.name:
+        return SerialBackend()
+    if max_workers is not None:
+        return resolve_backend(name, max_workers=max_workers)
+    if name not in _SHARED_DEFAULTS:
+        _SHARED_DEFAULTS[name] = resolve_backend(name)
+    return _SHARED_DEFAULTS[name]

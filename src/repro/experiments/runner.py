@@ -11,6 +11,7 @@ from repro.bo import ConstrainedMACE, MACE, OptimizationHistory, RandomSearch, S
 from repro.bo.problem import OptimizationProblem
 from repro.circuits import FOMProblem, make_problem
 from repro.core import KATO, KATOConfig, SourceModel
+from repro.engine import ExecutionBackend, resolve_backend
 from repro.utils.random import spawn_rngs
 from repro.utils.stats import summarize_runs
 
@@ -101,24 +102,53 @@ def build_constrained_optimizer(name: str, problem: OptimizationProblem, rng,
     raise ValueError(f"unknown constrained method {name!r}")
 
 
+def _run_one_seed(task: tuple) -> tuple[np.ndarray, OptimizationHistory]:
+    """One independent repetition of an experiment (a backend work item).
+
+    Top-level so it is picklable for the process backend; the factories it
+    receives must then be module-level functions or other picklable
+    callables (lambdas and closures only work with serial/thread backends).
+    """
+    problem_factory, optimizer_factory, run_rng, n_simulations, n_init, constrained = task
+    problem = problem_factory()
+    optimizer = optimizer_factory(problem, run_rng)
+    history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
+    return history.best_curve(constrained=constrained), history
+
+
 def run_repeated(problem_factory: Callable[[], OptimizationProblem],
                  optimizer_factory: Callable[[OptimizationProblem, object], object],
                  n_simulations: int, n_init: int, n_seeds: int = 3,
-                 seed: int = 0, constrained: bool = True) -> dict[str, object]:
+                 seed: int = 0, constrained: bool = True,
+                 backend: str | ExecutionBackend | None = "serial",
+                 ) -> dict[str, object]:
     """Run one method over several seeds and aggregate the best-so-far curves.
+
+    The repetitions are fully independent solves, so they fan out across the
+    execution ``backend`` (``"serial"`` by default, which reproduces the
+    sequential behaviour exactly; ``"thread"``/``"process"`` or an
+    :class:`~repro.engine.ExecutionBackend` instance run seeds concurrently).
+    Seed-to-rng assignment is identical for every backend, so results only
+    ever differ in wall-clock time.
 
     Returns a dictionary with the per-seed curves, their summary statistics
     and the final histories (for table extraction).
     """
-    curves: list[np.ndarray] = []
-    histories: list[OptimizationHistory] = []
-    for run_rng in spawn_rngs(seed, n_seeds):
-        problem = problem_factory()
-        optimizer = optimizer_factory(problem, run_rng)
-        history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
-        curve = history.best_curve(constrained=constrained)
-        curves.append(curve)
-        histories.append(history)
+    tasks = [(problem_factory, optimizer_factory, run_rng,
+              n_simulations, n_init, constrained)
+             for run_rng in spawn_rngs(seed, n_seeds)]
+    # Shut down pools we created here; caller-supplied instances and the
+    # process-wide shared default (backend=None) stay alive so their pools
+    # can be shared across several run_repeated calls.
+    owns_backend = backend is not None and not isinstance(backend, ExecutionBackend)
+    resolved = resolve_backend(backend)
+    try:
+        outcomes = resolved.map(_run_one_seed, tasks)
+    finally:
+        if owns_backend:
+            resolved.shutdown()
+    curves = [curve for curve, _ in outcomes]
+    histories = [history for _, history in outcomes]
     length = min(len(c) for c in curves)
     curves = [c[:length] for c in curves]
     return {

@@ -112,9 +112,14 @@ def logspace_frequencies(start: float = 1.0, stop: float = 1e9,
     return np.logspace(np.log10(start), np.log10(stop), count)
 
 
+#: Tiny conductance to ground keeping otherwise-floating nodes solvable.
+_AC_GMIN = 1e-15
+
+
 def ac_analysis(circuit: Circuit, operating_point: OperatingPoint,
                 frequencies: np.ndarray | None = None,
-                observe: list[str] | None = None) -> ACResult:
+                observe: list[str] | None = None,
+                method: str = "auto") -> ACResult:
     """Complex small-signal sweep of ``circuit`` around ``operating_point``.
 
     Parameters
@@ -123,19 +128,100 @@ def ac_analysis(circuit: Circuit, operating_point: OperatingPoint,
         Frequencies in hertz; defaults to 1 Hz .. 1 GHz, 20 points/decade.
     observe:
         Node names to record; defaults to every non-ground node.
+    method:
+        ``"auto"`` (default) uses the vectorized path whenever every device
+        declares affine AC stamps, falling back to the per-frequency loop
+        when a device is non-affine or a frequency point is singular;
+        ``"vectorized"`` forces the stacked solve (raising ``ValueError``
+        for declared non-affine devices and propagating ``LinAlgError`` on
+        singular systems or stamps that fail the affinity probe, instead of
+        silently switching paths); ``"per_frequency"`` forces the simple
+        reference loop.
+
+    Notes
+    -----
+    The vectorized path exploits the fact that every built-in device stamp is
+    affine in the angular frequency, ``A(omega) = G + omega * S`` with
+    ``S = 1j * C``, and the excitation vector is frequency-independent.  The
+    system is therefore assembled exactly twice (at ``omega = 0`` and
+    ``omega = 1``) and all frequency points are solved as one stacked
+    ``(F, N, N)`` :func:`numpy.linalg.solve` call, which removes the Python
+    stamping loop and lets LAPACK batch the factorizations.
     """
+    if method not in ("auto", "vectorized", "per_frequency"):
+        raise ValueError(f"unknown AC method {method!r}")
     if frequencies is None:
         frequencies = logspace_frequencies()
     frequencies = np.asarray(frequencies, dtype=float)
     circuit.ensure_indices()
-    observed = observe if observe is not None else circuit.nodes
-    responses = {node: np.empty(frequencies.shape[0], dtype=complex) for node in observed}
+    observed = list(observe) if observe is not None else circuit.nodes
 
+    affine = all(device.ac_affine for device in circuit.devices)
+    if method == "vectorized":
+        if not affine:
+            non_affine = [d.name for d in circuit.devices if not d.ac_affine]
+            raise ValueError("method='vectorized' requires affine AC stamps; "
+                             f"non-affine devices: {non_affine}")
+        return _ac_analysis_vectorized(circuit, operating_point,
+                                       frequencies, observed)
+    if method == "auto" and affine:
+        try:
+            return _ac_analysis_vectorized(circuit, operating_point,
+                                           frequencies, observed)
+        except np.linalg.LinAlgError:
+            # One or more frequency points are singular; the reference loop
+            # below handles those individually via least squares.
+            pass
+    return _ac_analysis_per_frequency(circuit, operating_point,
+                                      frequencies, observed)
+
+
+def _ac_analysis_vectorized(circuit: Circuit, operating_point: OperatingPoint,
+                            frequencies: np.ndarray,
+                            observed: list[str]) -> ACResult:
+    """Solve all frequency points with one stacked ``numpy.linalg.solve``."""
+    base = circuit.stamp_ac(0.0, operating_point)
+    unit = circuit.stamp_ac(1.0, operating_point)
+    if not np.array_equal(base.rhs, unit.rhs):
+        raise np.linalg.LinAlgError("AC excitation is frequency-dependent")
+    # A(omega) = G + omega * S  with  G = A(0)  and  S = A(1) - A(0).
+    slope = unit.matrix - base.matrix
+    # Affinity is declared by devices but verified here against a third
+    # sample: a device whose stamps are secretly non-affine in omega (despite
+    # ac_affine=True) must not silently get extrapolated wrong answers.
+    # omega=2 is a power of two, so for truly affine stamps the comparison is
+    # exact up to accumulation noise.
+    probe = circuit.stamp_ac(2.0, operating_point)
+    expected = base.matrix + 2.0 * slope
+    if not (np.allclose(probe.matrix, expected, rtol=1e-8, atol=1e-30)
+            and np.array_equal(probe.rhs, base.rhs)):
+        raise np.linalg.LinAlgError("AC stamps are not affine in omega")
+    omegas = 2.0 * np.pi * frequencies
+    systems = base.matrix[None, :, :] + omegas[:, None, None] * slope[None, :, :]
+    diagonal = np.arange(circuit.n_nodes)
+    systems[:, diagonal, diagonal] += _AC_GMIN
+    # Shape the right-hand side as a (1, N, 1) matrix stack so the solve
+    # broadcasts unambiguously across the frequency axis.
+    solutions = np.linalg.solve(systems, base.rhs[None, :, None])[..., 0]
+    responses: dict[str, np.ndarray] = {}
+    for node in observed:
+        index = circuit.node_index(node)
+        if index < 0:
+            responses[node] = np.zeros(frequencies.shape[0], dtype=complex)
+        else:
+            responses[node] = solutions[:, index].copy()
+    return ACResult(frequencies=frequencies, node_voltages=responses)
+
+
+def _ac_analysis_per_frequency(circuit: Circuit, operating_point: OperatingPoint,
+                               frequencies: np.ndarray,
+                               observed: list[str]) -> ACResult:
+    """Reference implementation: assemble and solve one system per frequency."""
+    responses = {node: np.empty(frequencies.shape[0], dtype=complex) for node in observed}
     for index, frequency in enumerate(frequencies):
         omega = 2.0 * np.pi * frequency
         stamper = circuit.stamp_ac(omega, operating_point)
-        # A tiny conductance to ground keeps otherwise-floating nodes solvable.
-        stamper.add_gmin(1e-15)
+        stamper.add_gmin(_AC_GMIN)
         try:
             solution = stamper.solve()
         except np.linalg.LinAlgError:

@@ -24,6 +24,15 @@ class Device:
     #: number of extra MNA unknowns (branch currents) the device needs
     n_branches = 0
 
+    #: whether the device's AC stamps are affine in ``omega``, i.e. every
+    #: matrix entry has the form ``g + 1j * omega * c`` and the right-hand
+    #: side is frequency-independent.  All built-in devices are affine, which
+    #: lets :func:`repro.spice.ac.ac_analysis` assemble the system once and
+    #: solve every frequency point in a single batched call.  A device whose
+    #: stamps depend on ``omega`` in any other way (e.g. a lossy transmission
+    #: line) must set this to ``False`` to force the per-frequency path.
+    ac_affine = True
+
     def __init__(self, name: str, nodes: tuple[str, ...]):
         if not name:
             raise ValueError("device name must be non-empty")
