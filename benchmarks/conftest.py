@@ -8,11 +8,16 @@ the full, paper-scale budgets (hours).
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 SCALE = os.environ.get("KATO_BENCH_SCALE", "quick").lower()
+
+#: When set, every machine-readable BENCH record is also appended (as JSON
+#: lines) to this file, so CI can upload the records as a workflow artifact.
+BENCH_RECORDS_PATH = os.environ.get("KATO_BENCH_RECORDS", "")
 
 #: Formatted tables recorded by the benchmarks, echoed after the run so they
 #: survive pytest's stdout capture (these are the rows/series the paper reports).
@@ -28,6 +33,21 @@ def record_report(text: str) -> None:
     """Print a regenerated paper table and keep it for the end-of-run summary."""
     print(text)
     _REPORTS.append(text)
+
+
+def record_bench(name: str, record: dict) -> None:
+    """Emit one machine-readable ``NAME {json}`` line for CI regression tracking.
+
+    The line goes to stdout (greppable in the pytest log) and, when
+    ``KATO_BENCH_RECORDS`` names a file, to that JSONL file as well so the
+    records survive as a workflow artifact.
+    """
+    print()
+    print(f"{name} " + json.dumps(record, sort_keys=True))
+    if BENCH_RECORDS_PATH:
+        with open(BENCH_RECORDS_PATH, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"bench_record": name, **record},
+                                    sort_keys=True) + "\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

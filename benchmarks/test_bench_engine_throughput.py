@@ -13,7 +13,6 @@ can track regressions, next to the usual human-readable table.
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
@@ -22,7 +21,7 @@ from repro.circuits import TwoStageOpAmp
 from repro.engine import EvaluationEngine, resolve_backend
 from repro.spice import ac_analysis, dc_operating_point
 
-from conftest import budget, record_report
+from conftest import budget, record_bench, record_report
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -95,8 +94,7 @@ def test_engine_throughput(benchmark):
                      for name in BACKENDS},
         "ac_vectorization": {key: round(value, 6) for key, value in ac.items()},
     }
-    print()
-    print("BENCH_ENGINE_THROUGHPUT " + json.dumps(record, sort_keys=True))
+    record_bench("BENCH_ENGINE_THROUGHPUT", record)
 
     lines = ["Engine throughput (two-stage op-amp, "
              f"{n_designs}-design batch):"]

@@ -1,12 +1,43 @@
-"""Legacy setup shim.
+"""Package metadata and dependencies -- the single source both for
+``pip install`` and for CI.
 
-The execution environment has no ``wheel`` package, so PEP 517 editable
-installs fail at ``bdist_wheel``.  Keeping this shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
-``python setup.py develop``) work offline; all metadata lives in
-``pyproject.toml``.
+CI installs with ``pip install -e .[test]`` so the dependency list cannot
+drift from a hand-maintained line in the workflow file (that drift is
+exactly how ``scipy`` once went missing from CI while ``repro.gp.gpr``
+imported it).
+
+The execution environment used for offline development has no ``wheel``
+package, so PEP 517 editable installs fail at ``bdist_wheel`` there; use
+``pip install -e . --no-use-pep517 --no-build-isolation`` (or just export
+``PYTHONPATH=src``) in that situation.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+_VERSION: dict[str, str] = {}
+with open(os.path.join(os.path.dirname(__file__), "src", "repro", "version.py"),
+          encoding="utf-8") as handle:
+    exec(handle.read(), _VERSION)
+
+setup(
+    name="kato-repro",
+    version=_VERSION["__version__"],
+    description=("Reproduction of KATO (DAC 2024): knowledge-transfer Bayesian "
+                 "optimization for transistor sizing on an in-repo MNA SPICE "
+                 "simulator"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7",
+            "pytest-benchmark",
+        ],
+    },
+)

@@ -5,6 +5,9 @@ operating-point, AC and (for the bandgap) temperature analyses, and exposes
 the result as a constrained :class:`repro.bo.OptimizationProblem`:
 
 * :class:`TwoStageOpAmp` -- Eq. 15: minimise ``I_total`` s.t. PM, GBW, Gain.
+* :class:`TwoStageOpAmpSettling` -- time-domain variant: minimise the 1%
+  settling time of a unity-gain follower step response s.t. slew rate and
+  overshoot limits (transient analysis).
 * :class:`ThreeStageOpAmp` -- Eq. 16: same metrics, higher gain target.
 * :class:`BandgapReference` -- Eq. 17: minimise TC s.t. ``I_total``, PSRR.
 
@@ -13,7 +16,7 @@ figure-of-merit objective of Eq. 2 for the Fig. 4 experiments.
 """
 
 from repro.circuits.base import CircuitSizingProblem, simulate_design
-from repro.circuits.two_stage_opamp import TwoStageOpAmp
+from repro.circuits.two_stage_opamp import TwoStageOpAmp, TwoStageOpAmpSettling
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.bandgap import BandgapReference
 from repro.circuits.fom import FOMProblem
@@ -22,6 +25,7 @@ from repro.circuits.registry import available_problems, make_problem
 __all__ = [
     "CircuitSizingProblem",
     "TwoStageOpAmp",
+    "TwoStageOpAmpSettling",
     "ThreeStageOpAmp",
     "BandgapReference",
     "FOMProblem",

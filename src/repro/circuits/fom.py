@@ -4,6 +4,13 @@ Implements paper Eq. 2: every metric is clipped at its specification bound,
 normalised by the (min, max) observed over random samples, signed by whether
 it is to be maximised or minimised, and summed.  The result is a single
 unconstrained objective to *maximise* -- the setting of the paper's Fig. 4.
+
+The wrapper is metric-agnostic: it works off the base problem's constraint
+list, so the time-domain figures of merit (settling time, slew rate,
+overshoot from :class:`repro.circuits.TwoStageOpAmpSettling`) fold into the
+FOM exactly like the AC metrics -- window-capped settling times are finite
+by construction, and any stray non-finite sample is already excluded from
+the normalisation ranges.
 """
 
 from __future__ import annotations

@@ -5,10 +5,11 @@ from __future__ import annotations
 from repro.circuits.bandgap import BandgapReference
 from repro.circuits.base import CircuitSizingProblem
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
-from repro.circuits.two_stage_opamp import TwoStageOpAmp
+from repro.circuits.two_stage_opamp import TwoStageOpAmp, TwoStageOpAmpSettling
 
 _PROBLEMS = {
     "two_stage_opamp": TwoStageOpAmp,
+    "two_stage_opamp_settling": TwoStageOpAmpSettling,
     "three_stage_opamp": ThreeStageOpAmp,
     "bandgap": BandgapReference,
 }
@@ -25,7 +26,8 @@ def make_problem(name: str, technology: str = "180nm", **kwargs) -> CircuitSizin
     Parameters
     ----------
     name:
-        ``"two_stage_opamp"``, ``"three_stage_opamp"`` or ``"bandgap"``.
+        ``"two_stage_opamp"``, ``"two_stage_opamp_settling"``,
+        ``"three_stage_opamp"`` or ``"bandgap"``.
     technology:
         ``"180nm"`` or ``"40nm"``.
     """

@@ -13,6 +13,10 @@ Design variables: widths and lengths of the first-stage devices and the
 second-stage device, ``Cc``, ``Rz`` and both bias currents -- ten in total.
 Metrics: total current ``i_total`` (uA), open-loop ``gain`` (dB), phase
 margin ``pm`` (degrees) and gain-bandwidth product ``gbw`` (MHz).
+
+:class:`TwoStageOpAmpSettling` reuses the same amplifier in a unity-gain
+follower testbench and judges it by *time-domain* figures of merit extracted
+from a transient step response: settling time, slew rate and overshoot.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import numpy as np
 from repro.bo.design_space import DesignSpace, DesignVariable
 from repro.bo.problem import Constraint
 from repro.circuits.base import CircuitSizingProblem
+from repro.errors import ConvergenceError
 from repro.pdk import Technology
 from repro.spice import (
     Capacitor,
@@ -29,9 +34,13 @@ from repro.spice import (
     CurrentSource,
     Mosfet,
     Resistor,
+    StepWaveform,
     VoltageSource,
+    Waveform,
     ac_analysis,
     dc_operating_point,
+    transient_analysis,
+    transient_operating_point,
 )
 
 
@@ -81,28 +90,26 @@ class TwoStageOpAmp(CircuitSizingProblem):
     # ------------------------------------------------------------------ #
     # netlist                                                             #
     # ------------------------------------------------------------------ #
-    def build_circuit(self, design: dict[str, float],
-                      ac_differential: bool = True,
-                      supply_ac: float = 0.0) -> Circuit:
-        """Construct the testbench netlist for one design point."""
+    def _add_amplifier_core(self, circuit: Circuit, design: dict[str, float],
+                            mn1_gate: str, mn2_gate: str) -> None:
+        """Add the amplifier itself (everything but the input sources).
+
+        The two testbenches differ only in how the differential-pair gates
+        are driven, so the gate node names are the only parameters: the AC
+        testbench wires them to its differential sources, the follower wires
+        MN1 to the output (feedback) and MN2 to the stimulus.
+        """
         tech = self.technology
-        vdd, vcm = tech.vdd, tech.common_mode
         w_diff = tech.clamp_width(design["w_diff"])
         l_diff = tech.clamp_length(design["l_diff"])
         w_load = tech.clamp_width(design["w_load"])
         l_load = tech.clamp_length(design["l_load"])
         w_out = tech.clamp_width(design["w_out"])
         l_out = tech.clamp_length(design["l_out"])
-
-        circuit = Circuit(f"two_stage_opamp_{tech.name}")
-        circuit.add(VoltageSource("VDD", "vdd", "0", dc=vdd, ac=supply_ac))
-        diff_amp = 0.5 if ac_differential else 0.0
-        circuit.add(VoltageSource("VIP", "inp", "0", dc=vcm, ac=+diff_amp))
-        circuit.add(VoltageSource("VIN", "inn", "0", dc=vcm, ac=-diff_amp))
         # First stage: NMOS differential pair, ideal tail sink, PMOS mirror load.
         circuit.add(CurrentSource("IB1", "tail", "0", dc=design["i_bias1"]))
-        circuit.add(Mosfet("MN1", "x1", "inp", "tail", "0", tech.nmos, w_diff, l_diff))
-        circuit.add(Mosfet("MN2", "out1", "inn", "tail", "0", tech.nmos, w_diff, l_diff))
+        circuit.add(Mosfet("MN1", "x1", mn1_gate, "tail", "0", tech.nmos, w_diff, l_diff))
+        circuit.add(Mosfet("MN2", "out1", mn2_gate, "tail", "0", tech.nmos, w_diff, l_diff))
         circuit.add(Mosfet("MP1", "x1", "x1", "vdd", "vdd", tech.pmos, w_load, l_load))
         circuit.add(Mosfet("MP2", "out1", "x1", "vdd", "vdd", tech.pmos, w_load, l_load))
         # Second stage: PMOS common source with ideal current-sink bias.
@@ -112,6 +119,39 @@ class TwoStageOpAmp(CircuitSizingProblem):
         circuit.add(Resistor("RZ", "out1", "zc", max(design["r_zero"], 1.0)))
         circuit.add(Capacitor("CC", "zc", "out", max(design["c_comp"], 1e-15)))
         circuit.add(Capacitor("CL", "out", "0", self.load_capacitance))
+
+    def build_circuit(self, design: dict[str, float],
+                      ac_differential: bool = True,
+                      supply_ac: float = 0.0) -> Circuit:
+        """Construct the open-loop AC testbench netlist for one design point."""
+        tech = self.technology
+        circuit = Circuit(f"two_stage_opamp_{tech.name}")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd, ac=supply_ac))
+        diff_amp = 0.5 if ac_differential else 0.0
+        circuit.add(VoltageSource("VIP", "inp", "0", dc=tech.common_mode, ac=+diff_amp))
+        circuit.add(VoltageSource("VIN", "inn", "0", dc=tech.common_mode, ac=-diff_amp))
+        self._add_amplifier_core(circuit, design, mn1_gate="inp", mn2_gate="inn")
+        return circuit
+
+    def build_follower_circuit(self, design: dict[str, float],
+                               waveform: Waveform) -> Circuit:
+        """Unity-gain follower testbench: the amplifier tracks ``waveform``.
+
+        Same amplifier core as :meth:`build_circuit`, but the inverting input
+        is tied directly to the output (100% feedback) and the non-inverting
+        input is driven by a transient stimulus -- the standard bench for
+        slew-rate and settling-time measurements.  The mirror-side gate (MN1)
+        is the *inverting* input of this topology -- raising it raises out1
+        through the MP1/MP2 mirror, which cuts MP3 and pulls the output down
+        -- so the output feeds back to MN1 and the stimulus drives MN2 for
+        negative feedback.
+        """
+        tech = self.technology
+        circuit = Circuit(f"two_stage_follower_{tech.name}")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+        circuit.add(VoltageSource("VIP", "inp", "0", dc=tech.common_mode,
+                                  waveform=waveform))
+        self._add_amplifier_core(circuit, design, mn1_gate="out", mn2_gate="inp")
         return circuit
 
     # ------------------------------------------------------------------ #
@@ -139,3 +179,99 @@ class TwoStageOpAmp(CircuitSizingProblem):
             "pm": float(pm_deg),
             "gbw": float(gbw_hz / 1e6),
         }
+
+
+class TwoStageOpAmpSettling(TwoStageOpAmp):
+    """Size the two-stage OpAmp for fast settling in a follower testbench.
+
+    The amplifier is placed in unity feedback and hit with a
+    ``step_amplitude`` step around the common-mode level; transient analysis
+    then yields the time-domain metrics:
+
+    * ``t_settle`` (us, the objective) -- time to stay within
+      ``settle_tolerance`` of the final output value, capped at the analysis
+      window when the output never settles;
+    * ``slew`` (V/us) -- 10%-90% output slew rate, constrained from below;
+    * ``overshoot`` (%) -- peak excursion past the final value, constrained
+      from above;
+    * ``i_total`` (uA) -- reported for reference (not constrained here).
+
+    Every transient configuration scalar (window, tolerances, step size)
+    lives as a plain attribute, so
+    :attr:`~repro.circuits.base.CircuitSizingProblem.cache_token` folds it
+    into the design-cache identity automatically -- two differently
+    configured settling problems never share cached results.
+    """
+
+    def __init__(self, technology: str | Technology = "180nm",
+                 load_capacitance: float = 2e-12,
+                 step_amplitude: float = 0.2, t_stop: float = 4e-6,
+                 settle_tolerance: float = 0.01,
+                 min_slew: float = 1.0, max_overshoot: float = 25.0,
+                 transient_reltol: float = 1e-4,
+                 transient_abstol: float = 1e-6):
+        super().__init__(technology=technology, load_capacitance=load_capacitance)
+        self.name = f"two_stage_opamp_settling_{self.technology.name}"
+        self.objective = "t_settle"
+        self.minimize = True
+        # Thresholds are also kept as plain float attributes: cache_token
+        # hashes scalar attributes only, and two instances with different
+        # constraint levels must never share cached feasibility verdicts.
+        self.min_slew = float(min_slew)
+        self.max_overshoot = float(max_overshoot)
+        self.constraints = [
+            Constraint("slew", self.min_slew, "ge"),
+            Constraint("overshoot", self.max_overshoot, "le"),
+        ]
+        self.step_amplitude = float(step_amplitude)
+        self.t_stop = float(t_stop)
+        self.settle_tolerance = float(settle_tolerance)
+        self.transient_reltol = float(transient_reltol)
+        self.transient_abstol = float(transient_abstol)
+        # Step timing: a short settling window before the edge gives a clean
+        # pre-step baseline, and a finite rise keeps the stimulus physical.
+        self.step_delay = self.t_stop * 0.05
+        self.step_rise_time = self.t_stop * 1e-3
+
+    def step_waveform(self) -> StepWaveform:
+        """The follower stimulus: a step around the common-mode level."""
+        vcm = self.technology.common_mode
+        half = 0.5 * self.step_amplitude
+        return StepWaveform(initial=vcm - half, final=vcm + half,
+                            delay=self.step_delay,
+                            rise_time=self.step_rise_time)
+
+    def simulate(self, design: dict[str, float]) -> dict[str, float]:
+        circuit = self.build_follower_circuit(design, self.step_waveform())
+        op = transient_operating_point(circuit)
+        if not op.converged:
+            return self.failed_metrics()
+        i_total = abs(circuit.device("VDD").branch_current(op.voltages))
+        try:
+            result = transient_analysis(
+                circuit, self.t_stop, observe=["out"], operating_point=op,
+                reltol=self.transient_reltol, abstol=self.transient_abstol)
+        except ConvergenceError:
+            return self.failed_metrics()
+        t_edge = self.step_delay
+        initial = result.value_at("out", t_edge)
+        final = result.final_value("out")
+        # A follower whose output does not track at least half the input step
+        # is dead; "settling" instantly onto a stuck output must not score.
+        if abs(final - initial) < 0.5 * self.step_amplitude:
+            return self.failed_metrics()
+        settle = result.settling_time("out", tolerance=self.settle_tolerance,
+                                      t_start=t_edge)
+        if not np.isfinite(settle):
+            # Never entered the band: report the whole window as the (worst
+            # finite) settling time so surrogates stay trainable.
+            settle = self.t_stop - t_edge
+        return {
+            "t_settle": float(settle * 1e6),
+            "slew": float(result.slew_rate("out", t_start=t_edge) * 1e-6),
+            "overshoot": float(result.overshoot_percent("out", t_start=t_edge)),
+            "i_total": float(i_total * 1e6),
+        }
+
+    def failed_metrics(self) -> dict[str, float]:
+        return {**super().failed_metrics(), "i_total": 1e6}

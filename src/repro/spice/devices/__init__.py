@@ -1,8 +1,18 @@
 """Circuit devices: passives, sources and nonlinear semiconductor models."""
 
 from repro.spice.devices.base import Device, TwoTerminal
-from repro.spice.devices.passives import Capacitor, Resistor
-from repro.spice.devices.sources import VCCS, VCVS, CurrentSource, VoltageSource
+from repro.spice.devices.passives import Capacitor, Inductor, Resistor
+from repro.spice.devices.sources import (
+    VCCS,
+    VCVS,
+    CurrentSource,
+    PulseWaveform,
+    PWLWaveform,
+    SineWaveform,
+    StepWaveform,
+    VoltageSource,
+    Waveform,
+)
 from repro.spice.devices.diode import Diode
 from repro.spice.devices.mosfet import Mosfet, MosfetModel
 
@@ -11,6 +21,7 @@ __all__ = [
     "TwoTerminal",
     "Resistor",
     "Capacitor",
+    "Inductor",
     "VoltageSource",
     "CurrentSource",
     "VCVS",
@@ -18,4 +29,9 @@ __all__ = [
     "Diode",
     "Mosfet",
     "MosfetModel",
+    "Waveform",
+    "StepWaveform",
+    "PulseWaveform",
+    "PWLWaveform",
+    "SineWaveform",
 ]

@@ -6,16 +6,75 @@ Every device knows how to *stamp* its contribution into the MNA system:
   given trial node-voltage vector (linear devices ignore the voltages);
 * :meth:`Device.stamp_ac` -- complex-valued small-signal stamps at angular
   frequency ``omega``, linearised around a previously computed DC operating
-  point.
+  point;
+* :meth:`Device.stamp_transient` -- real-valued companion-model stamps for
+  one timestep of transient analysis (see below).
 
 Node indices are resolved by :class:`repro.spice.netlist.Circuit` before any
 analysis runs; index ``-1`` denotes the ground node and is skipped by the
 stamping helpers in :mod:`repro.spice.mna`.
+
+Transient contract
+------------------
+Transient analysis (:func:`repro.spice.transient.transient_analysis`)
+discretises each reactive device into a *companion model* -- a conductance
+plus an independent current source whose values depend on the timestep
+``dt``, the integration method and the device's previously accepted state.
+The solver drives three hooks:
+
+1. :meth:`Device.init_transient` is called once after the initial DC solve
+   and returns the device's mutable ``state`` dictionary (previous voltages,
+   currents, frozen capacitance values, ...).  The solver additionally
+   maintains two reserved keys in every state: ``state["time"]`` (the time
+   being solved for) and ``state["method"]`` (``"be"`` for backward Euler or
+   ``"trap"`` for trapezoidal).
+2. :meth:`Device.stamp_transient` stamps the companion model for the current
+   Newton iterate.  The default implementation delegates to
+   :meth:`stamp_dc`, which is exactly right for memoryless devices
+   (resistors, controlled sources, the quasi-static diode).
+3. :meth:`Device.commit_transient` is called once per *accepted* step with
+   the converged solution so the device can roll its state forward.
+   Rejected steps (local truncation error too large, Newton failure) never
+   commit, so a device must keep all history in ``state`` -- not on ``self``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def stamp_capacitor_companion(stamper, positive: int, negative: int,
+                              capacitance: float, state: dict,
+                              v_key: str, i_key: str, dt: float) -> None:
+    """Stamp the companion model of a linear capacitor.
+
+    Backward Euler replaces the capacitor by ``Geq = C/dt`` in parallel with
+    a current source ``-Geq * v_prev``; trapezoidal integration uses
+    ``Geq = 2C/dt`` and ``-Geq * v_prev - i_prev``.  The previous branch
+    voltage/current live in ``state[v_key]`` / ``state[i_key]`` and are
+    rolled forward by :func:`commit_capacitor_companion`.
+    """
+    v_prev = state[v_key]
+    if state["method"] == "trap":
+        geq = 2.0 * capacitance / dt
+        ieq = -geq * v_prev - state[i_key]
+    else:
+        geq = capacitance / dt
+        ieq = -geq * v_prev
+    stamper.add_conductance(positive, negative, geq)
+    stamper.add_current(positive, negative, ieq)
+
+
+def commit_capacitor_companion(capacitance: float, state: dict,
+                               v_key: str, i_key: str, dt: float,
+                               v_new: float) -> None:
+    """Advance a capacitor companion state to the accepted solution."""
+    if state["method"] == "trap":
+        i_new = 2.0 * capacitance / dt * (v_new - state[v_key]) - state[i_key]
+    else:
+        i_new = capacitance / dt * (v_new - state[v_key])
+    state[v_key] = v_new
+    state[i_key] = i_new
 
 
 class Device:
@@ -59,6 +118,30 @@ class Device:
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         """Stamp AC small-signal contributions."""
         raise NotImplementedError
+
+    # -- transient ------------------------------------------------------ #
+    def init_transient(self, operating_point, temperature: float) -> dict:
+        """Build this device's mutable transient state from the DC solution.
+
+        Memoryless devices need no state; the base implementation returns an
+        empty dictionary (the solver still injects the reserved ``"time"``
+        and ``"method"`` keys).
+        """
+        return {}
+
+    def stamp_transient(self, stamper, voltages: np.ndarray, state: dict,
+                        dt: float, temperature: float) -> None:
+        """Stamp companion-model contributions for one transient timestep.
+
+        The default is quasi-static: memoryless devices contribute exactly
+        their (linearised) DC stamps at the current Newton iterate.
+        """
+        self.stamp_dc(stamper, voltages, temperature)
+
+    def commit_transient(self, voltages: np.ndarray, state: dict, dt: float,
+                         temperature: float) -> None:
+        """Roll ``state`` forward after a step is accepted (default: no-op)."""
+        return
 
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         """Per-device operating-point quantities (currents, gm, region, ...)."""

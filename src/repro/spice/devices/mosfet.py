@@ -12,7 +12,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.spice.devices.base import Device
+from repro.spice.devices.base import (
+    Device,
+    commit_capacitor_companion,
+    stamp_capacitor_companion,
+)
 
 
 @dataclass(frozen=True)
@@ -221,6 +225,40 @@ class Mosfet(Device):
         stamper.add_conductance(drain, source, gds)
         stamper.add_conductance(gate, source, 1j * omega * cgs)
         stamper.add_conductance(gate, drain, 1j * omega * cgd)
+
+    def init_transient(self, operating_point, temperature: float) -> dict:
+        """Freeze the gate capacitances at the DC bias and record their state.
+
+        The level-1 capacitances vary only mildly between regions; freezing
+        them at the operating point keeps the companion models linear (and
+        charge-conserving) while the large-signal drain current stays fully
+        nonlinear -- slewing is limited by the bias currents, as in the real
+        amplifier.
+        """
+        voltages = operating_point.voltages
+        op = self.operating_point(voltages, temperature)
+        v_d, v_g, v_s = self._terminal_voltages(voltages)
+        return {"cgs": op.cgs, "cgd": op.cgd,
+                "v_gs": v_g - v_s, "i_gs": 0.0,
+                "v_gd": v_g - v_d, "i_gd": 0.0}
+
+    def stamp_transient(self, stamper, voltages: np.ndarray, state: dict,
+                        dt: float, temperature: float) -> None:
+        # Nonlinear drain current: identical linearised stamps to DC.
+        self.stamp_dc(stamper, voltages, temperature)
+        drain, gate, source, _ = self.node_indices
+        stamp_capacitor_companion(stamper, gate, source, state["cgs"],
+                                  state, "v_gs", "i_gs", dt)
+        stamp_capacitor_companion(stamper, gate, drain, state["cgd"],
+                                  state, "v_gd", "i_gd", dt)
+
+    def commit_transient(self, voltages: np.ndarray, state: dict, dt: float,
+                         temperature: float) -> None:
+        v_d, v_g, v_s = self._terminal_voltages(voltages)
+        commit_capacitor_companion(state["cgs"], state, "v_gs", "i_gs", dt,
+                                   v_g - v_s)
+        commit_capacitor_companion(state["cgd"], state, "v_gd", "i_gd", dt,
+                                   v_g - v_d)
 
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         op = self.operating_point(voltages, temperature)

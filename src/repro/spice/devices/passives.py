@@ -1,10 +1,14 @@
-"""Linear passive devices: resistors and capacitors."""
+"""Linear passive devices: resistors, capacitors and inductors."""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.spice.devices.base import TwoTerminal
+from repro.spice.devices.base import (
+    TwoTerminal,
+    commit_capacitor_companion,
+    stamp_capacitor_companion,
+)
 from repro.utils.validation import check_positive
 
 
@@ -47,5 +51,91 @@ class Capacitor(TwoTerminal):
         stamper.add_conductance(self.positive_index, self.negative_index,
                                 1j * omega * self.capacitance)
 
+    def init_transient(self, operating_point, temperature: float) -> dict:
+        # A capacitor carries no current at the DC operating point.
+        return {"v": self.voltage_across(operating_point.voltages), "i": 0.0}
+
+    def stamp_transient(self, stamper, voltages: np.ndarray, state: dict,
+                        dt: float, temperature: float) -> None:
+        stamp_capacitor_companion(stamper, self.positive_index,
+                                  self.negative_index, self.capacitance,
+                                  state, "v", "i", dt)
+
+    def commit_transient(self, voltages: np.ndarray, state: dict, dt: float,
+                         temperature: float) -> None:
+        commit_capacitor_companion(self.capacitance, state, "v", "i", dt,
+                                   self.voltage_across(voltages))
+
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         return {"v": self.voltage_across(voltages)}
+
+
+class Inductor(TwoTerminal):
+    """An ideal inductor: short in DC, impedance ``j*omega*L`` in AC.
+
+    Adds one branch-current unknown (like a voltage source), which makes the
+    DC short exactly representable and gives transient analysis direct access
+    to the inductor current for its companion model.
+    """
+
+    n_branches = 1
+
+    def __init__(self, name: str, positive: str, negative: str, inductance: float):
+        super().__init__(name, positive, negative)
+        self.inductance = check_positive(inductance, f"inductance of {name}")
+
+    def _stamp_branch_kcl(self, stamper) -> None:
+        """Couple the branch current into both terminal KCL rows."""
+        branch = self.branch_indices[0]
+        stamper.add_entry(self.positive_index, branch, 1.0)
+        stamper.add_entry(self.negative_index, branch, -1.0)
+
+    def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
+        # DC short: branch equation v_pos - v_neg = 0.
+        branch = self.branch_indices[0]
+        self._stamp_branch_kcl(stamper)
+        stamper.add_entry(branch, self.positive_index, 1.0)
+        stamper.add_entry(branch, self.negative_index, -1.0)
+
+    def stamp_ac(self, stamper, omega: float, operating_point) -> None:
+        # Branch equation v_pos - v_neg - j*omega*L * i = 0 (affine in omega).
+        branch = self.branch_indices[0]
+        self._stamp_branch_kcl(stamper)
+        stamper.add_entry(branch, self.positive_index, 1.0)
+        stamper.add_entry(branch, self.negative_index, -1.0)
+        stamper.add_entry(branch, branch, -1j * omega * self.inductance)
+
+    def init_transient(self, operating_point, temperature: float) -> dict:
+        return {"i": float(np.real(operating_point.voltages[self.branch_indices[0]])),
+                "v": self.voltage_across(operating_point.voltages)}
+
+    def stamp_transient(self, stamper, voltages: np.ndarray, state: dict,
+                        dt: float, temperature: float) -> None:
+        # Companion branch equation.  Backward Euler discretises
+        # v = L di/dt into v_new - (L/dt) i_new = -(L/dt) i_prev;
+        # trapezoidal into v_new - (2L/dt) i_new = -(2L/dt) i_prev - v_prev.
+        branch = self.branch_indices[0]
+        self._stamp_branch_kcl(stamper)
+        stamper.add_entry(branch, self.positive_index, 1.0)
+        stamper.add_entry(branch, self.negative_index, -1.0)
+        if state["method"] == "trap":
+            req = 2.0 * self.inductance / dt
+            rhs = -req * state["i"] - state["v"]
+        else:
+            req = self.inductance / dt
+            rhs = -req * state["i"]
+        stamper.add_entry(branch, branch, -req)
+        stamper.add_rhs(branch, rhs)
+
+    def commit_transient(self, voltages: np.ndarray, state: dict, dt: float,
+                         temperature: float) -> None:
+        state["i"] = float(voltages[self.branch_indices[0]])
+        state["v"] = self.voltage_across(voltages)
+
+    def branch_current(self, solution: np.ndarray) -> float:
+        """Current through the inductor (positive into the + terminal)."""
+        return float(np.real(solution[self.branch_indices[0]]))
+
+    def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
+        return {"v": self.voltage_across(voltages),
+                "i": self.branch_current(voltages)}

@@ -145,6 +145,37 @@ class Circuit:
             device.stamp_ac(stamper, omega, operating_point)
         return stamper
 
+    def init_transient_states(self, operating_point, temperature: float) -> dict[str, dict]:
+        """Build every device's transient companion state from the DC solution."""
+        self.ensure_indices()
+        return {device.name: device.init_transient(operating_point, temperature)
+                for device in self.devices}
+
+    def stamp_transient(self, voltages: np.ndarray, states: dict[str, dict],
+                        time: float, dt: float, method: str, temperature: float,
+                        gmin: float = 0.0) -> Stamper:
+        """Assemble the companion-model system for one transient Newton iterate.
+
+        The solver-owned ``time`` and ``method`` (``"be"``/``"trap"``) are
+        injected into each device's state before stamping, per the transient
+        contract in :mod:`repro.spice.devices.base`.
+        """
+        stamper = self.make_stamper(dtype=float)
+        for device in self.devices:
+            state = states[device.name]
+            state["time"] = time
+            state["method"] = method
+            device.stamp_transient(stamper, voltages, state, dt, temperature)
+        if gmin > 0.0:
+            stamper.add_gmin(gmin)
+        return stamper
+
+    def commit_transient(self, voltages: np.ndarray, states: dict[str, dict],
+                         dt: float, temperature: float) -> None:
+        """Roll every device's companion state forward after an accepted step."""
+        for device in self.devices:
+            device.commit_transient(voltages, states[device.name], dt, temperature)
+
     def summary(self) -> dict[str, int]:
         """Device/node counts (useful in logs and tests)."""
         self.ensure_indices()

@@ -1,0 +1,390 @@
+"""Adaptive-timestep transient analysis with companion models.
+
+The solver integrates the circuit's differential-algebraic system with the
+classic SPICE recipe:
+
+* every reactive device is discretised into a *companion model* (conductance
+  plus history current source) via the ``stamp_transient`` contract in
+  :mod:`repro.spice.devices.base`;
+* each timestep is solved with damped Newton iteration, reusing the MNA
+  stamper and warm-starting from the previous solution;
+* the first steps after t = 0 and after every waveform breakpoint use
+  backward Euler (L-stable, safe across discontinuities), then integration
+  switches to the trapezoidal rule (second order, A-stable);
+* the timestep adapts to a local-truncation-error estimate built from
+  divided differences of the accepted solution history, and steps are forced
+  to land exactly on source-waveform breakpoints.
+
+:class:`TransientResult` carries the accepted waveforms and implements the
+time-domain measurements the sizing problems use as figures of merit: slew
+rate, settling time and overshoot of a step response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.netlist import Circuit
+
+#: Tiny conductance to ground keeping otherwise-floating nodes solvable.
+_TRANSIENT_GMIN = 1e-12
+
+
+@dataclass
+class TransientResult:
+    """Time-domain waveforms of the observed nodes.
+
+    Attributes
+    ----------
+    times:
+        Accepted timepoints in seconds (first entry is 0 -- the DC initial
+        condition -- and the last entry is exactly ``t_stop``).
+    node_voltages:
+        Mapping node name -> voltage array (same length as ``times``).
+    n_accepted / n_rejected:
+        Timestep-controller statistics (rejections count both LTE failures
+        and Newton failures).
+    n_newton_iterations:
+        Total Newton iterations across all attempted steps.
+    """
+
+    times: np.ndarray
+    node_voltages: dict[str, np.ndarray]
+    n_accepted: int = 0
+    n_rejected: int = 0
+    n_newton_iterations: int = 0
+
+    # ------------------------------------------------------------------ #
+    # accessors                                                           #
+    # ------------------------------------------------------------------ #
+    def voltage(self, node: str) -> np.ndarray:
+        return self.node_voltages[node]
+
+    def value_at(self, node: str, t: float) -> float:
+        """Linearly interpolated voltage at an arbitrary time."""
+        return float(np.interp(t, self.times, self.voltage(node)))
+
+    def final_value(self, node: str) -> float:
+        """Voltage at the last accepted timepoint."""
+        return float(self.voltage(node)[-1])
+
+    # ------------------------------------------------------------------ #
+    # step-response measurements                                          #
+    # ------------------------------------------------------------------ #
+    def _step_window(self, node: str, t_start: float,
+                     final: float | None) -> tuple[np.ndarray, np.ndarray, float, float]:
+        """Times/voltages from ``t_start`` on, plus (initial, final) levels."""
+        times, values = self.times, self.voltage(node)
+        mask = times >= t_start
+        v0 = self.value_at(node, t_start)
+        vf = self.final_value(node) if final is None else float(final)
+        return times[mask], values[mask], v0, vf
+
+    @staticmethod
+    def _first_crossing(times: np.ndarray, values: np.ndarray,
+                        threshold: float, rising: bool) -> float | None:
+        """Interpolated time of the first crossing of ``threshold``."""
+        beyond = values >= threshold if rising else values <= threshold
+        indices = np.nonzero(beyond)[0]
+        if indices.size == 0:
+            return None
+        index = int(indices[0])
+        if index == 0:
+            return float(times[0])
+        t0, t1 = times[index - 1], times[index]
+        v0, v1 = values[index - 1], values[index]
+        if v1 == v0:
+            return float(t1)
+        return float(t0 + (threshold - v0) / (v1 - v0) * (t1 - t0))
+
+    def slew_rate(self, node: str, t_start: float = 0.0,
+                  low_fraction: float = 0.1, high_fraction: float = 0.9,
+                  final: float | None = None) -> float:
+        """10%-90% (by default) slew rate of a step transition, in V/s.
+
+        Measured between the first crossings of the ``low_fraction`` and
+        ``high_fraction`` levels of the transition from the value at
+        ``t_start`` to the final value.  Returns 0 for a dead output (no
+        swing or thresholds never crossed).
+        """
+        times, values, v0, vf = self._step_window(node, t_start, final)
+        swing = vf - v0
+        if times.size < 2 or abs(swing) < 1e-15:
+            return 0.0
+        rising = swing > 0
+        t_low = self._first_crossing(times, values, v0 + low_fraction * swing, rising)
+        t_high = self._first_crossing(times, values, v0 + high_fraction * swing, rising)
+        if t_low is None or t_high is None or t_high <= t_low:
+            return 0.0
+        return (high_fraction - low_fraction) * abs(swing) / (t_high - t_low)
+
+    def settling_time(self, node: str, tolerance: float = 0.01,
+                      t_start: float = 0.0, final: float | None = None) -> float:
+        """Time from ``t_start`` until the node stays within ``tolerance``.
+
+        The band is ``tolerance * |swing|`` around the final value.  Returns
+        ``inf`` when the node is still outside the band at the end of the
+        analysis window, and 0 when it never leaves the band.
+        """
+        times, values, v0, vf = self._step_window(node, t_start, final)
+        swing = vf - v0
+        band = tolerance * abs(swing)
+        if times.size < 2 or band <= 0.0:
+            return 0.0
+        outside = np.abs(values - vf) > band
+        if not outside.any():
+            return 0.0
+        last_outside = int(np.nonzero(outside)[0][-1])
+        if last_outside == times.size - 1:
+            return float("inf")
+        # Interpolate the band entry between the last outside sample and the
+        # first inside one.
+        t0, t1 = times[last_outside], times[last_outside + 1]
+        d0 = abs(values[last_outside] - vf)
+        d1 = abs(values[last_outside + 1] - vf)
+        if d0 == d1:
+            return float(t1 - t_start)
+        fraction = (d0 - band) / (d0 - d1)
+        return float(t0 + fraction * (t1 - t0) - t_start)
+
+    def overshoot_percent(self, node: str, t_start: float = 0.0,
+                          final: float | None = None) -> float:
+        """Peak excursion beyond the final value, as a percentage of the swing."""
+        times, values, v0, vf = self._step_window(node, t_start, final)
+        swing = vf - v0
+        if times.size < 2 or abs(swing) < 1e-15:
+            return 0.0
+        if swing > 0:
+            excursion = float(values.max()) - vf
+        else:
+            excursion = vf - float(values.min())
+        return max(excursion, 0.0) / abs(swing) * 100.0
+
+
+def _newton_transient(circuit: Circuit, states: dict[str, dict],
+                      start: np.ndarray, time: float, dt: float, method: str,
+                      temperature: float, gmin: float, max_iterations: int,
+                      tolerance: float, damping: float) -> tuple[np.ndarray, bool, int]:
+    """Damped Newton iteration for one timestep (warm-started)."""
+    voltages = start.copy()
+    for iteration in range(1, max_iterations + 1):
+        stamper = circuit.stamp_transient(voltages, states, time, dt, method,
+                                          temperature, gmin=gmin)
+        try:
+            new_voltages = stamper.solve()
+        except np.linalg.LinAlgError:
+            new_voltages = stamper.solve_lstsq()
+        if not np.all(np.isfinite(new_voltages)):
+            return voltages, False, iteration
+        delta = new_voltages - voltages
+        voltages = voltages + np.clip(delta, -damping, damping)
+        if np.max(np.abs(delta)) < tolerance:
+            return voltages, True, iteration
+    return voltages, False, max_iterations
+
+
+def _divided_difference(times: list[float], values: list[np.ndarray]) -> np.ndarray:
+    """Highest-order Newton divided difference of the given samples."""
+    table = list(values)
+    for order in range(1, len(times)):
+        table = [(table[i + 1] - table[i]) / (times[i + order] - times[i])
+                 for i in range(len(table) - 1)]
+    return table[0]
+
+
+def _collect_breakpoints(circuit: Circuit, t_stop: float) -> list[float]:
+    """Sorted unique waveform breakpoints in ``(0, t_stop)``, plus ``t_stop``."""
+    points: set[float] = set()
+    for device in circuit.devices:
+        waveform = getattr(device, "waveform", None)
+        if waveform is not None:
+            points.update(waveform.breakpoints(t_stop))
+    merged: list[float] = []
+    for point in sorted(points):
+        if 0.0 < point < t_stop and (not merged or point - merged[-1] > 1e-15 * t_stop):
+            merged.append(point)
+    merged.append(t_stop)
+    return merged
+
+
+def transient_operating_point(circuit: Circuit, temperature: float = 27.0,
+                              ) -> OperatingPoint:
+    """DC solution with every waveform source held at its t = 0 value.
+
+    This is the transient initial condition: a source whose waveform starts
+    away from its ``dc`` attribute (e.g. a step from a low level) must be
+    biased at the waveform's starting value, not at the AC-testbench bias.
+    """
+    overridden = []
+    for device in circuit.devices:
+        waveform = getattr(device, "waveform", None)
+        if waveform is not None:
+            overridden.append((device, device.dc))
+            device.dc = waveform.value_at(0.0)
+    try:
+        return dc_operating_point(circuit, temperature=temperature)
+    finally:
+        for device, dc in overridden:
+            device.dc = dc
+
+
+def transient_analysis(circuit: Circuit, t_stop: float,
+                       observe: list[str] | None = None,
+                       temperature: float = 27.0,
+                       dt_initial: float | None = None,
+                       dt_min: float | None = None,
+                       dt_max: float | None = None,
+                       reltol: float = 1e-4, abstol: float = 1e-6,
+                       newton_tolerance: float = 1e-9,
+                       max_newton_iterations: int = 50,
+                       damping: float = 0.5,
+                       max_steps: int = 200_000,
+                       operating_point: OperatingPoint | None = None,
+                       ) -> TransientResult:
+    """Integrate ``circuit`` from its DC initial condition to ``t_stop``.
+
+    Parameters
+    ----------
+    t_stop:
+        Analysis window in seconds.
+    observe:
+        Node names to record; defaults to every non-ground node.
+    dt_initial / dt_min / dt_max:
+        Startup, floor and ceiling timesteps; default to ``1e-4``, ``1e-12``
+        and ``1/50`` of ``t_stop``.
+    reltol / abstol:
+        Per-step local-truncation-error tolerance: a step is accepted when
+        the estimated LTE of every node voltage is below
+        ``reltol * |v| + abstol``.
+    operating_point:
+        Pre-computed initial condition; by default
+        :func:`transient_operating_point` is solved (waveform sources held at
+        their t = 0 values).
+
+    Raises
+    ------
+    ConvergenceError:
+        When the controller underflows ``dt_min`` (Newton repeatedly failing
+        or the error estimate never satisfied) or exceeds ``max_steps``.
+    """
+    if t_stop <= 0.0:
+        raise ValueError(f"t_stop must be positive, got {t_stop}")
+    circuit.ensure_indices()
+    observed = list(observe) if observe is not None else circuit.nodes
+    dt_initial = t_stop * 1e-4 if dt_initial is None else float(dt_initial)
+    dt_min = t_stop * 1e-12 if dt_min is None else float(dt_min)
+    dt_max = t_stop / 50.0 if dt_max is None else float(dt_max)
+
+    if operating_point is None:
+        operating_point = transient_operating_point(circuit, temperature)
+    if not operating_point.converged:
+        raise ConvergenceError(
+            f"transient initial condition of {circuit.title!r} did not converge")
+
+    states = circuit.init_transient_states(operating_point, temperature)
+    n_nodes = circuit.n_nodes
+    eps = t_stop * 1e-12
+
+    t = 0.0
+    solution = operating_point.voltages.copy()
+    times = [0.0]
+    solutions = [solution.copy()]
+    # Accepted (t, solution) history for the divided-difference LTE estimate;
+    # reset at every breakpoint so the estimate never spans a discontinuity.
+    history: list[tuple[float, np.ndarray]] = [(0.0, solution.copy())]
+
+    breakpoints = _collect_breakpoints(circuit, t_stop)
+    next_break = 0
+    dt = min(dt_initial, dt_max, breakpoints[0])
+    n_accepted = n_rejected = n_newton = 0
+
+    while t < t_stop - eps:
+        if n_accepted + n_rejected >= max_steps:
+            raise ConvergenceError(
+                f"transient analysis of {circuit.title!r} exceeded "
+                f"{max_steps} steps at t={t:.3e}s")
+        while breakpoints[next_break] <= t + eps:
+            next_break += 1
+        dt = min(dt, dt_max, t_stop - t)
+        hit_break = t + dt >= breakpoints[next_break] - eps
+        if hit_break:
+            dt = breakpoints[next_break] - t
+        # Backward Euler until three accepted points exist past the last
+        # breakpoint, trapezoidal afterwards.
+        method = "be" if len(history) < 3 else "trap"
+        t_new = t + dt
+
+        new_solution, converged, iterations = _newton_transient(
+            circuit, states, solution, t_new, dt, method, temperature,
+            _TRANSIENT_GMIN, max_newton_iterations, newton_tolerance, damping)
+        n_newton += iterations
+        if not converged:
+            n_rejected += 1
+            dt *= 0.25
+            if dt < dt_min:
+                raise ConvergenceError(
+                    f"transient Newton iteration of {circuit.title!r} failed "
+                    f"at t={t_new:.3e}s with dt={dt:.3e}s")
+            continue
+
+        # Local-truncation-error estimate from divided differences of the
+        # accepted history plus the candidate point.  BE error ~ (dt^2/2) v''
+        # with v'' ~ 2*DD2; trapezoidal error ~ (dt^3/12) v''' with
+        # v''' ~ 6*DD3.
+        error_ratio = None
+        if len(history) >= 2:
+            order = 3 if method == "trap" else 2
+            sample = history[-order:] + [(t_new, new_solution)]
+            dd = _divided_difference([s[0] for s in sample],
+                                     [s[1][:n_nodes] for s in sample])
+            lte = (0.5 * dt**3 * np.abs(dd) if method == "trap"
+                   else dt**2 * np.abs(dd))
+            tolerance = (reltol * np.maximum(np.abs(new_solution[:n_nodes]),
+                                             np.abs(solution[:n_nodes]))
+                         + abstol)
+            error_ratio = float(np.max(lte / tolerance))
+            if error_ratio > 1.0:
+                n_rejected += 1
+                dt *= max(0.1, 0.9 * error_ratio ** (-1.0 / order))
+                if dt < dt_min:
+                    raise ConvergenceError(
+                        f"transient timestep of {circuit.title!r} underflowed "
+                        f"at t={t_new:.3e}s (LTE never satisfied)")
+                continue
+
+        circuit.commit_transient(new_solution, states, dt, temperature)
+        t = t_new
+        solution = new_solution
+        n_accepted += 1
+        times.append(t)
+        solutions.append(solution.copy())
+        history.append((t, solution.copy()))
+        if len(history) > 3:
+            history.pop(0)
+
+        if hit_break:
+            # Restart integration behind the corner: BE, small steps, and an
+            # LTE history that does not bridge the discontinuity.
+            history = [(t, solution.copy())]
+            dt = min(dt_initial, dt_max)
+        elif error_ratio is None:
+            dt = min(dt * 2.0, dt_max)
+        else:
+            order = 3 if method == "trap" else 2
+            factor = 0.9 * max(error_ratio, 1e-10) ** (-1.0 / order)
+            dt = min(dt * min(2.0, max(0.3, factor)), dt_max)
+
+    times_array = np.array(times)
+    stacked = np.stack(solutions, axis=0)
+    responses: dict[str, np.ndarray] = {}
+    for node in observed:
+        index = circuit.node_index(node)
+        responses[node] = (np.zeros(times_array.shape[0]) if index < 0
+                           else stacked[:, index].copy())
+    return TransientResult(times=times_array, node_voltages=responses,
+                           n_accepted=n_accepted, n_rejected=n_rejected,
+                           n_newton_iterations=n_newton)

@@ -1,0 +1,143 @@
+"""Property-based tests for the design cache.
+
+Hand-rolled property testing (no external dependency): seeded random
+operation sequences are replayed against both the real :class:`DesignCache`
+and a transparent shadow model, and the invariants that every sequence must
+preserve are checked after each operation:
+
+* the entry count never exceeds ``maxsize``;
+* the hit/miss/eviction counters always reconcile with the operation
+  counts (``lookups == gets + recorded duplicates``, evictions equal the
+  overflow count);
+* LRU semantics match the shadow model exactly;
+* differing ``cache_token``s never produce colliding keys.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.bo.problem import EvaluatedDesign
+from repro.engine import DesignCache
+
+
+def _record(value: float) -> EvaluatedDesign:
+    return EvaluatedDesign(x=np.array([value]), metrics={"f": value},
+                           objective=value, feasible=True)
+
+
+class _ShadowCache:
+    """Reference LRU model: an OrderedDict plus naive counters."""
+
+    def __init__(self, maxsize: int | None):
+        self.maxsize = maxsize
+        self.entries: OrderedDict[str, float] = OrderedDict()
+        self.hits = self.misses = self.evictions = 0
+
+    def get(self, key: str):
+        if key not in self.entries:
+            self.misses += 1
+            return None
+        self.entries.move_to_end(key)
+        self.hits += 1
+        return self.entries[key]
+
+    def put(self, key: str, value: float) -> None:
+        self.entries[key] = value
+        self.entries.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self.entries) > self.maxsize:
+                self.entries.popitem(last=False)
+                self.evictions += 1
+
+
+class TestCacheProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("maxsize", [1, 3, 8, 64, None])
+    def test_random_sequences_preserve_invariants(self, seed, maxsize):
+        rng = np.random.default_rng(seed)
+        cache = DesignCache(maxsize=maxsize)
+        shadow = _ShadowCache(maxsize)
+        key_pool = [DesignCache.key_for("prop", np.array([float(i)]))
+                    for i in range(20)]
+        n_gets = n_duplicates = 0
+
+        for step in range(400):
+            operation = rng.integers(0, 3)
+            key = key_pool[int(rng.integers(0, len(key_pool)))]
+            if operation == 0:
+                value = float(step)
+                cache.put(key, _record(value))
+                shadow.put(key, value)
+            elif operation == 1:
+                n_gets += 1
+                entry = cache.get(key)
+                expected = shadow.get(key)
+                if expected is None:
+                    assert entry is None
+                else:
+                    assert entry is not None and entry.objective == expected
+            else:
+                n_duplicates += 1
+                cache.record_saved_duplicate()
+                shadow.hits += 1
+
+            # Invariants, checked after *every* operation.
+            if maxsize is not None:
+                assert len(cache) <= maxsize
+            assert len(cache) == len(shadow.entries)
+            assert list(cache._entries) == list(shadow.entries)  # LRU order
+            assert cache.stats.hits == shadow.hits
+            assert cache.stats.misses == shadow.misses
+            assert cache.stats.evictions == shadow.evictions
+            assert cache.stats.lookups == n_gets + n_duplicates
+
+        if cache.stats.lookups:
+            assert cache.stats.hit_rate == pytest.approx(
+                cache.stats.hits / cache.stats.lookups)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_distinct_tokens_never_collide(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        tokens = [f"problem_{i}:{rng.integers(0, 1 << 30):08x}" for i in range(25)]
+        vectors = [rng.normal(size=rng.integers(1, 6)) for _ in range(25)]
+        seen: dict[str, tuple[str, bytes]] = {}
+        for token in tokens:
+            for vector in vectors:
+                key = DesignCache.key_for(token, vector)
+                identity = (token, np.ascontiguousarray(vector).tobytes())
+                if key in seen:
+                    assert seen[key] == identity, (
+                        f"cache key collision between {seen[key]} and {identity}")
+                seen[key] = identity
+        assert len(seen) == len(tokens) * len(vectors)
+
+    def test_key_is_content_addressed(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert DesignCache.key_for("p", x) == DesignCache.key_for("p", x.copy())
+        # Same bytes through a different layout still hashes identically.
+        strided = np.array([1.0, 0.0, 2.0, 0.0, 3.0, 0.0])[::2]
+        assert DesignCache.key_for("p", x) == DesignCache.key_for("p", strided)
+        assert DesignCache.key_for("p", x) != DesignCache.key_for("q", x)
+        assert DesignCache.key_for("p", x) != DesignCache.key_for("p", x[:2])
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = DesignCache(maxsize=None)
+        for i in range(500):
+            cache.put(DesignCache.key_for("p", np.array([float(i)])), _record(i))
+        assert len(cache) == 500
+        assert cache.stats.evictions == 0
+
+    def test_clear_empties_but_keeps_stats(self):
+        cache = DesignCache(maxsize=4)
+        key = DesignCache.key_for("p", np.array([1.0]))
+        cache.put(key, _record(1.0))
+        assert cache.get(key) is not None
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1

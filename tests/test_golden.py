@@ -1,0 +1,150 @@
+"""Golden-solution tests: every analysis checked against a closed form.
+
+Each analysis engine is validated against an independent reference:
+
+* transient -- RC and RL step responses against the analytic exponential,
+  and series-RLC ringing against the underdamped closed form;
+* AC -- the vectorized stacked-frequency path cross-checked against the
+  per-frequency reference loop for every circuit in the registry;
+* DC -- a swept diode divider against the Shockley equation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import available_problems, make_problem
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Diode,
+    Inductor,
+    Resistor,
+    StepWaveform,
+    VoltageSource,
+    ac_analysis,
+    dc_operating_point,
+    dc_sweep,
+    transient_analysis,
+)
+
+
+class TestTransientGolden:
+    """Transient solver vs. analytic linear-network step responses."""
+
+    def test_rc_step_matches_exponential(self):
+        """Acceptance bar: <0.1% max error at the default tolerances."""
+        tau = 1e-6
+        circuit = Circuit("rc_golden")
+        circuit.add(VoltageSource("VIN", "in", "0", dc=0.0,
+                                  waveform=StepWaveform(0.0, 1.0)))
+        circuit.add(Resistor("R1", "in", "out", 1e3))
+        circuit.add(Capacitor("C1", "out", "0", 1e-9))
+        result = transient_analysis(circuit, 5 * tau, observe=["out"])
+        analytic = 1.0 - np.exp(-result.times / tau)
+        assert np.max(np.abs(result.voltage("out") - analytic)) < 1e-3
+        # The grid covers the whole window with exact endpoints.
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(5 * tau, rel=1e-12)
+
+    def test_rl_step_matches_exponential(self):
+        """Series V-R-L: the midpoint node decays as exp(-t*R/L)."""
+        resistance, inductance = 1e3, 1e-3
+        tau = inductance / resistance
+        circuit = Circuit("rl_golden")
+        circuit.add(VoltageSource("VIN", "in", "0", dc=0.0,
+                                  waveform=StepWaveform(0.0, 1.0)))
+        circuit.add(Resistor("R1", "in", "mid", resistance))
+        circuit.add(Inductor("L1", "mid", "0", inductance))
+        result = transient_analysis(circuit, 5 * tau, observe=["mid"])
+        # Skip t=0: the source is discontinuous there and the first sample is
+        # the pre-step DC initial condition by construction.
+        analytic = np.exp(-result.times[1:] / tau)
+        assert np.max(np.abs(result.voltage("mid")[1:] - analytic)) < 1e-3
+
+    def test_rlc_ringing_matches_closed_form(self):
+        """Underdamped series RLC step response, five ringing periods."""
+        resistance, inductance, capacitance = 100.0, 1e-3, 1e-9
+        alpha = resistance / (2 * inductance)
+        omega0 = 1.0 / np.sqrt(inductance * capacitance)
+        omega_d = np.sqrt(omega0**2 - alpha**2)
+        circuit = Circuit("rlc_golden")
+        circuit.add(VoltageSource("VIN", "in", "0", dc=0.0,
+                                  waveform=StepWaveform(0.0, 1.0)))
+        circuit.add(Resistor("R1", "in", "n1", resistance))
+        circuit.add(Inductor("L1", "n1", "n2", inductance))
+        circuit.add(Capacitor("C1", "n2", "0", capacitance))
+        t_stop = 5 * 2 * np.pi / omega_d
+        result = transient_analysis(circuit, t_stop, observe=["n2"],
+                                    reltol=1e-5)
+        t = result.times
+        analytic = 1.0 - np.exp(-alpha * t) * (np.cos(omega_d * t)
+                                               + alpha / omega_d * np.sin(omega_d * t))
+        assert np.max(np.abs(result.voltage("n2") - analytic)) < 1e-2
+        # The ringing must actually be resolved, not smoothed away: the
+        # first overshoot peaks at 1 + exp(-alpha*pi/omega_d).
+        expected_peak = 1.0 + np.exp(-alpha * np.pi / omega_d)
+        assert float(result.voltage("n2").max()) == pytest.approx(
+            expected_peak, rel=1e-2)
+
+
+class TestACGolden:
+    """Vectorized AC path vs. the per-frequency reference, every circuit."""
+
+    FREQUENCIES = np.logspace(1, 9, 33)
+
+    @pytest.mark.parametrize("name", available_problems())
+    def test_vectorized_matches_per_frequency(self, name):
+        problem = make_problem(name, "180nm")
+        # The bandgap AC testbench measures PSRR, so excite its supply.
+        kwargs = {"supply_ac": 1.0} if name == "bandgap" else {}
+        # Use the first design of a fixed-seed batch whose DC converges (not
+        # every random design biases up).
+        for row in problem.design_space.sample(10, rng=np.random.default_rng(11)):
+            design = problem.design_space.as_dict(row)
+            circuit = problem.build_circuit(design, **kwargs)
+            op = dc_operating_point(circuit)
+            if op.converged:
+                break
+        else:
+            pytest.fail(f"no converged design found for {name}")
+        vectorized = ac_analysis(circuit, op, self.FREQUENCIES,
+                                 method="vectorized")
+        reference = ac_analysis(circuit, op, self.FREQUENCIES,
+                                method="per_frequency")
+        for node in circuit.nodes:
+            np.testing.assert_allclose(
+                vectorized.response(node), reference.response(node),
+                rtol=1e-8, atol=1e-15,
+                err_msg=f"{name}: node {node} diverges between AC paths")
+
+
+class TestDCGolden:
+    """DC sweep of a diode divider vs. the Shockley equation."""
+
+    def test_diode_divider_satisfies_shockley(self):
+        saturation_current, emission = 1e-14, 1.0
+        resistance = 10e3
+        circuit = Circuit("diode_golden")
+        source = circuit.add(VoltageSource("VIN", "in", "0", dc=0.0))
+        circuit.add(Resistor("R1", "in", "d", resistance))
+        circuit.add(Diode("D1", "d", "0",
+                          saturation_current=saturation_current,
+                          emission_coefficient=emission))
+
+        def set_value(value: float) -> None:
+            source.dc = value
+
+        values = np.linspace(0.3, 2.0, 18)
+        _, v_diode = dc_sweep(circuit, set_value, values, observe="d")
+        # KCL at the diode node: the resistor current must equal the
+        # Shockley current at the solved junction voltage.
+        thermal = 1.380649e-23 * 300.15 / 1.602176634e-19
+        i_resistor = (values - v_diode) / resistance
+        i_shockley = saturation_current * (np.exp(v_diode / (emission * thermal)) - 1.0)
+        np.testing.assert_allclose(i_resistor, i_shockley, rtol=1e-6,
+                                   atol=1e-12)
+        # And the junction voltage grows logarithmically: ~60 mV/decade.
+        assert np.all(np.diff(v_diode) > 0)
+        assert v_diode[-1] < 1.0
