@@ -14,10 +14,9 @@ paper's Table 1.
 from __future__ import annotations
 
 from repro.baselines import evaluate_expert
-from repro.bo import ConstrainedMACE
 from repro.circuits import BandgapReference
-from repro.core import KATO, KATOConfig
 from repro.experiments import format_table
+from repro.study import Study, StudySpec
 
 
 def main() -> None:
@@ -25,24 +24,16 @@ def main() -> None:
     expert = evaluate_expert(BandgapReference("180nm"))
     rows["human_expert"] = dict(expert.metrics)
 
-    print("Running constrained MACE ...")
-    mace_problem = BandgapReference("180nm")
-    mace = ConstrainedMACE(mace_problem, batch_size=4, rng=0, variant="full",
-                           surrogate_train_iters=25, pop_size=40, n_generations=12)
-    mace_history = mace.optimize(n_simulations=60, n_init=30)
-    best_mace = mace_history.best(constrained=True)
-    if best_mace is not None:
-        rows["mace"] = dict(best_mace.metrics)
-
-    print("Running KATO ...")
-    kato_problem = BandgapReference("180nm")
-    config = KATOConfig(batch_size=4, surrogate_train_iters=25,
-                        pop_size=40, n_generations=12)
-    kato = KATO(kato_problem, config=config, rng=0)
-    kato_history = kato.optimize(n_simulations=60, n_init=30)
-    best_kato = kato_history.best(constrained=True)
-    if best_kato is not None:
-        rows["kato"] = dict(best_kato.metrics)
+    options = {"surrogate_train_iters": 25, "pop_size": 40, "n_generations": 12}
+    for method in ("mace", "kato"):
+        print(f"Running {method} ...")
+        spec = StudySpec(optimizer=method, circuit="bandgap",
+                         technology="180nm", n_simulations=60, n_init=30,
+                         batch_size=4, seed=0, optimizer_options=options)
+        history = Study(spec).run().history
+        best = history.best(constrained=True)
+        if best is not None:
+            rows[method] = dict(best.metrics)
 
     print()
     print(format_table(rows, title="Bandgap (180nm): best designs "

@@ -13,12 +13,16 @@ design it finds along with the human-expert reference.
 from __future__ import annotations
 
 from repro.baselines import evaluate_expert
-from repro.circuits import TwoStageOpAmp
-from repro.core import KATO, KATOConfig
+from repro.study import Study, StudySpec
 
 
 def main() -> None:
-    problem = TwoStageOpAmp("180nm")
+    spec = StudySpec(optimizer="kato", circuit="two_stage_opamp",
+                     technology="180nm", n_simulations=80, n_init=40,
+                     batch_size=4, seed=0,
+                     optimizer_options={"surrogate_train_iters": 30,
+                                        "pop_size": 48, "n_generations": 15})
+    problem = spec.build_problem()
     print("Problem:", problem.name)
     print("  design variables:", ", ".join(problem.design_space.names))
     print("  objective: minimise", problem.objective)
@@ -26,10 +30,7 @@ def main() -> None:
         symbol = ">=" if constraint.sense == "ge" else "<="
         print(f"  constraint: {constraint.name} {symbol} {constraint.threshold}")
 
-    config = KATOConfig(batch_size=4, surrogate_train_iters=30,
-                        pop_size=48, n_generations=15)
-    optimizer = KATO(problem, config=config, rng=0)
-    history = optimizer.optimize(n_simulations=80, n_init=40)
+    history = Study(spec).run().history
 
     best = history.best(constrained=True)
     expert = evaluate_expert(problem)

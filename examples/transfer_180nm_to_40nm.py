@@ -9,33 +9,46 @@ model is built from random simulations of the 180 nm two-stage OpAmp, then
 KATO is run on the 40 nm version of the same amplifier twice -- once without
 transfer and once with the KAT-GP + selective-transfer pipeline -- and the
 best-so-far curves are printed side by side.
+
+Both arms are declarative studies; the transfer source is part of the
+``kato_tl`` spec (a :class:`repro.study.TransferSpec`), so the whole
+comparison could equally be driven from two JSON files and
+``python -m repro run``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.circuits import TwoStageOpAmp
-from repro.core import KATO, KATOConfig
-from repro.experiments import make_source_model, speedup_ratio
+from repro.experiments import speedup_ratio
+from repro.study import Study, StudySpec
 
-
-def run_kato(problem, source, seed):
-    config = KATOConfig(batch_size=4, surrogate_train_iters=25,
-                        kat_train_iters=80, pop_size=40, n_generations=12)
-    optimizer = KATO(problem, source=source, config=config, rng=seed)
-    history = optimizer.optimize(n_simulations=60, n_init=30)
-    return optimizer, history
+COMMON = {
+    "circuit": "two_stage_opamp",
+    "technology": "40nm",
+    "n_simulations": 60,
+    "n_init": 30,
+    "seed": 1,
+    "optimizer_options": {"surrogate_train_iters": 25, "kat_train_iters": 80,
+                          "pop_size": 40, "n_generations": 12},
+}
 
 
 def main() -> None:
-    print("Building source model from 80 random 180 nm simulations ...")
-    source = make_source_model("two_stage_opamp", "180nm", n_samples=80, seed=0)
+    plain_spec = StudySpec.from_dict({**COMMON, "optimizer": "kato"})
+    tl_spec = StudySpec.from_dict({
+        **COMMON,
+        "optimizer": "kato_tl",
+        "transfer": {"circuit": "two_stage_opamp", "technology": "180nm",
+                     "n_samples": 80, "seed": 0},
+    })
 
     print("Optimising the 40 nm two-stage OpAmp without transfer ...")
-    _, plain_history = run_kato(TwoStageOpAmp("40nm"), source=None, seed=1)
-    print("Optimising the 40 nm two-stage OpAmp with KAT-GP transfer ...")
-    kato_tl, tl_history = run_kato(TwoStageOpAmp("40nm"), source=source, seed=1)
+    plain_history = Study(plain_spec).run().history
+    print("Optimising the 40 nm two-stage OpAmp with KAT-GP transfer "
+          "(source: 80 random 180 nm simulations) ...")
+    tl_study = Study(tl_spec)
+    tl_history = tl_study.run().history
 
     plain_curve = plain_history.best_curve(constrained=True)
     tl_curve = tl_history.best_curve(constrained=True)
@@ -49,7 +62,8 @@ def main() -> None:
     if finite.any():
         speedup = speedup_ratio(tl_curve, plain_curve, minimize=True)
         print(f"\nSpeedup of transfer over no-transfer: {speedup:.2f}x")
-    print("Selective-transfer weights:", kato_tl.transfer_report()["weights"])
+    print("Selective-transfer weights:",
+          tl_study.optimizer.transfer_report()["weights"])
 
 
 if __name__ == "__main__":

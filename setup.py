@@ -34,6 +34,10 @@ setup(
         "numpy>=1.24",
         "scipy>=1.10",
     ],
+    entry_points={
+        # Same CLI as `python -m repro` (run/resume/list-* study commands).
+        "console_scripts": ["kato-repro = repro.study.cli:main"],
+    },
     extras_require={
         "test": [
             "pytest>=7",

@@ -21,6 +21,10 @@ The package is organised bottom-up:
 * :mod:`repro.engine` -- the batched evaluation engine: pluggable
   serial/thread/process execution backends, a content-hash design cache and
   failure isolation for every ``evaluate_batch`` in the library.
+* :mod:`repro.study` -- the unified Study API: the optimizer registry,
+  declarative :class:`~repro.study.StudySpec` run specifications, the
+  :class:`~repro.study.Study` driver (callbacks, JSONL checkpoint/resume)
+  and the ``python -m repro`` command line.
 * :mod:`repro.experiments` -- harnesses regenerating every table and figure.
 """
 

@@ -1,0 +1,8 @@
+"""``python -m repro``: the study command line (see :mod:`repro.study.cli`)."""
+
+import sys
+
+from repro.study.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

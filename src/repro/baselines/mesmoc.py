@@ -26,10 +26,18 @@ from repro.bo.problem import OptimizationProblem
 from repro.errors import OptimizationError
 from repro.gp import GPRegression, MultiOutputGP
 from repro.kernels import RBFKernel
+from repro.study.registry import register_optimizer
 from repro.utils.random import RandomState
 from repro.utils.stats import norm_cdf, norm_pdf
 
 
+def _build_mesmoc(cls, problem, rng, context):
+    return cls(problem, rng=rng, **context.constructor_kwargs(
+        batch_size=4, surrogate_train_iters=20 if context.quick else 50))
+
+
+@register_optimizer("mesmoc", builder=_build_mesmoc, supports_unconstrained=False,
+                    description="Constrained max-value entropy search baseline")
 class MESMOC(BaseOptimizer):
     """Constrained max-value entropy search over a random candidate pool."""
 

@@ -32,6 +32,7 @@ from repro.errors import OptimizationError
 from repro.gp import GPRegression
 from repro.kernels import RBFKernel
 from repro.optim.lbfgs import minimize_lbfgs
+from repro.study.registry import register_optimizer
 from repro.utils.random import RandomState
 from repro.utils.validation import check_matrix, check_vector
 
@@ -45,6 +46,16 @@ def gaussian_copula_transform(values: np.ndarray) -> np.ndarray:
     return ndtri(quantiles)
 
 
+def _build_tlmbo(cls, problem, rng, context):
+    source_x, source_y = context.source_data
+    return cls(problem, source_x=source_x, source_y=source_y, rng=rng,
+               **context.constructor_kwargs(batch_size=4))
+
+
+@register_optimizer("tlmbo", builder=_build_tlmbo, requires_source_data=True,
+                    supports_constrained=False,
+                    description="Gaussian-copula technology-transfer BO "
+                                "(FOM problems, matching design spaces)")
 class TLMBO(BaseOptimizer):
     """Gaussian-copula technology-transfer BO for FOM problems."""
 

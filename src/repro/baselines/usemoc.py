@@ -20,9 +20,22 @@ from repro.errors import OptimizationError
 from repro.gp import GPRegression, MultiOutputGP
 from repro.kernels import RBFKernel
 from repro.moo import NSGA2
+from repro.study.registry import register_optimizer
 from repro.utils.random import RandomState
 
 
+def _build_usemoc(cls, problem, rng, context):
+    quick = context.quick
+    return cls(problem, rng=rng, **context.constructor_kwargs(
+        batch_size=4,
+        surrogate_train_iters=20 if quick else 50,
+        pop_size=32 if quick else 64,
+        n_generations=10 if quick else 30,
+    ))
+
+
+@register_optimizer("usemoc", builder=_build_usemoc, supports_unconstrained=False,
+                    description="Uncertainty-aware constrained BO baseline")
 class USeMOC(BaseOptimizer):
     """Uncertainty-aware constrained BO baseline."""
 

@@ -11,6 +11,7 @@ from repro.errors import OptimizationError
 from repro.gp import GPRegression
 from repro.kernels import Kernel, RBFKernel
 from repro.optim.lbfgs import minimize_lbfgs
+from repro.study.registry import register_optimizer
 from repro.utils.random import RandomState, as_rng
 
 
@@ -49,9 +50,17 @@ class BaseOptimizer:
     def initialize(self, n_init: int = 10,
                    initial_designs: np.ndarray | None = None,
                    initial_evaluations: list[EvaluatedDesign] | None = None) -> None:
-        """Seed the history with random designs and/or provided evaluations."""
-        if initial_evaluations:
-            self.history.extend(initial_evaluations)
+        """Seed the history with random designs and/or provided evaluations.
+
+        Random designs are only drawn to top the history up to ``n_init``;
+        with ``n_init=0`` nothing is ever sampled, so passing
+        ``initial_evaluations=[]`` together with ``n_init=0`` is an exact
+        no-op (callers managing their own warm start rely on this).
+        """
+        if n_init < 0:
+            raise OptimizationError(f"n_init must be non-negative, got {n_init}")
+        if initial_evaluations is not None:
+            self.history.extend(list(initial_evaluations))
         if initial_designs is not None:
             self.history.extend(self.problem.evaluate_batch(initial_designs))
         already = len(self.history)
@@ -105,6 +114,10 @@ class BaseOptimizer:
             self.initialize(n_init=min(n_init, n_simulations),
                             initial_designs=initial_designs,
                             initial_evaluations=initial_evaluations)
+        if len(self.history) == 0 and n_simulations > 0:
+            raise OptimizationError(
+                "optimize() has no designs to start from: provide n_init > 0, "
+                "initial_designs or non-empty initial_evaluations")
         while len(self.history) < n_simulations:
             self.step()
             if callback is not None:
@@ -112,6 +125,8 @@ class BaseOptimizer:
         return self.history
 
 
+@register_optimizer("gp_ei", aliases=("bo", "gp"),
+                    description="Vanilla GP + expected-improvement BO")
 class SingleObjectiveBO(BaseOptimizer):
     """Vanilla GP + expected-improvement BO (sequential, batch via constant liar)."""
 

@@ -25,9 +25,26 @@ from repro.errors import OptimizationError
 from repro.gp import GPRegression, MultiOutputGP
 from repro.kernels import Kernel, RBFKernel
 from repro.moo import NSGA2
+from repro.study.registry import register_optimizer
 from repro.utils.random import RandomState
 
 
+def _build_mace_modified(cls, problem, rng, context):
+    quick = context.quick
+    kwargs = context.constructor_kwargs(
+        batch_size=4,
+        surrogate_train_iters=20 if quick else 50,
+        pop_size=32 if quick else 64,
+        n_generations=10 if quick else 30,
+    )
+    kwargs.setdefault("variant", "modified")
+    return cls(problem, rng=rng, **kwargs)
+
+
+@register_optimizer("mace_modified", aliases=("modified_mace",),
+                    builder=_build_mace_modified, supports_unconstrained=False,
+                    description="KATO's modified three-objective constrained "
+                                "MACE (Eq. 13)")
 class ConstrainedMACE(BaseOptimizer):
     """Batch constrained BO with an acquisition-ensemble Pareto search.
 

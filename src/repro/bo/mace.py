@@ -18,6 +18,7 @@ from repro.bo.problem import OptimizationProblem
 from repro.gp import GPRegression
 from repro.kernels import Kernel, RBFKernel
 from repro.moo import NSGA2
+from repro.study.registry import register_optimizer
 from repro.utils.random import RandomState
 
 
@@ -38,6 +39,32 @@ def select_batch_from_pareto(pareto_x: np.ndarray, batch_size: int, rng) -> np.n
     return np.vstack([pareto_x, extra])
 
 
+def _build_mace(cls, problem, rng, context):
+    """Build "mace" for either problem family, as the paper's figures do.
+
+    On unconstrained (FOM) problems this is plain MACE; on constrained
+    problems it is the original six-objective constrained MACE
+    (``ConstrainedMACE(variant="full")``), exactly as the retired
+    ``build_fom_optimizer`` / ``build_constrained_optimizer`` factories
+    dispatched the shared "mace" name.
+    """
+    quick = context.quick
+    kwargs = context.constructor_kwargs(
+        batch_size=4,
+        surrogate_train_iters=20 if quick else 50,
+        pop_size=32 if quick else 64,
+        n_generations=10 if quick else 30,
+    )
+    if getattr(problem, "n_constraints", 0) > 0:
+        from repro.bo.constrained_mace import ConstrainedMACE
+        kwargs.setdefault("variant", "full")
+        return ConstrainedMACE(problem, rng=rng, **kwargs)
+    return cls(problem, rng=rng, **kwargs)
+
+
+@register_optimizer("mace", builder=_build_mace,
+                    description="MACE acquisition-ensemble BO (six-objective "
+                                "constrained variant on constrained problems)")
 class MACE(BaseOptimizer):
     """Unconstrained MACE for FOM-style single-objective problems.
 

@@ -6,9 +6,17 @@ import numpy as np
 
 from repro.bo.base import BaseOptimizer
 from repro.bo.problem import OptimizationProblem
+from repro.study.registry import register_optimizer
 from repro.utils.random import RandomState
 
 
+def _build_random_search(cls, problem, rng, context):
+    return cls(problem, rng=rng, **context.constructor_kwargs(batch_size=4))
+
+
+@register_optimizer("random_search", aliases=("rs", "random"),
+                    builder=_build_random_search,
+                    description="Uniform random sampling baseline (RS)")
 class RandomSearch(BaseOptimizer):
     """Uniform random sampling of the design space.
 

@@ -14,10 +14,17 @@ import numpy as np
 from repro.acquisition.functions import expected_improvement
 from repro.bo.base import BaseOptimizer
 from repro.bo.problem import OptimizationProblem
+from repro.study.registry import register_optimizer
 from repro.surrogates import RandomForestRegressor
 from repro.utils.random import RandomState
 
 
+def _build_smac_rf(cls, problem, rng, context):
+    return cls(problem, rng=rng, **context.constructor_kwargs(batch_size=4))
+
+
+@register_optimizer("smac_rf", aliases=("smac",), builder=_build_smac_rf,
+                    description="SMAC-style BO with a random-forest surrogate")
 class SMACRF(BaseOptimizer):
     """Random-forest surrogate + EI with local/global candidate pools."""
 

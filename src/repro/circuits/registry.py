@@ -1,4 +1,10 @@
-"""Factory for the evaluation problems by name and technology node."""
+"""Factory for the evaluation problems by name and technology node.
+
+The registry is open: the paper's testbenches register themselves below, and
+downstream code (plugins, tests, private testbenches) can add entries with
+the :func:`register_problem` decorator so :func:`make_problem`, the Study
+API and the ``python -m repro`` CLI all see them through one table.
+"""
 
 from __future__ import annotations
 
@@ -6,13 +12,29 @@ from repro.circuits.bandgap import BandgapReference
 from repro.circuits.base import CircuitSizingProblem
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.two_stage_opamp import TwoStageOpAmp, TwoStageOpAmpSettling
+from repro.utils.validation import suggestion_hint
 
-_PROBLEMS = {
-    "two_stage_opamp": TwoStageOpAmp,
-    "two_stage_opamp_settling": TwoStageOpAmpSettling,
-    "three_stage_opamp": ThreeStageOpAmp,
-    "bandgap": BandgapReference,
-}
+_PROBLEMS: dict[str, type] = {}
+
+
+def register_problem(name: str, *, overwrite: bool = False):
+    """Class decorator adding a sizing problem to the :func:`make_problem` table.
+
+    The decorated class must be constructible as ``cls(technology=..., **kwargs)``.
+    Registration is idempotent only with ``overwrite=True``; a silent
+    double-registration under one name is almost always a bug.
+    """
+    key = name.lower()
+
+    def decorator(cls):
+        if key in _PROBLEMS and not overwrite:
+            raise ValueError(f"problem {name!r} is already registered "
+                             f"(to {_PROBLEMS[key].__name__}); pass overwrite=True "
+                             "to replace it")
+        _PROBLEMS[key] = cls
+        return cls
+
+    return decorator
 
 
 def available_problems() -> list[str]:
@@ -21,17 +43,25 @@ def available_problems() -> list[str]:
 
 
 def make_problem(name: str, technology: str = "180nm", **kwargs) -> CircuitSizingProblem:
-    """Instantiate one of the paper's evaluation circuits.
+    """Instantiate one of the registered evaluation circuits.
 
     Parameters
     ----------
     name:
-        ``"two_stage_opamp"``, ``"two_stage_opamp_settling"``,
-        ``"three_stage_opamp"`` or ``"bandgap"``.
+        A registered problem name (see :func:`available_problems`); the
+        paper's circuits are ``"two_stage_opamp"``, ``"two_stage_opamp_settling"``,
+        ``"three_stage_opamp"`` and ``"bandgap"``.
     technology:
         ``"180nm"`` or ``"40nm"``.
     """
     key = name.lower()
     if key not in _PROBLEMS:
-        raise KeyError(f"unknown problem {name!r}; available: {available_problems()}")
+        raise KeyError(f"unknown problem {name!r}{suggestion_hint(key, _PROBLEMS)}; "
+                       f"available: {available_problems()}")
     return _PROBLEMS[key](technology=technology, **kwargs)
+
+
+register_problem("two_stage_opamp")(TwoStageOpAmp)
+register_problem("two_stage_opamp_settling")(TwoStageOpAmpSettling)
+register_problem("three_stage_opamp")(ThreeStageOpAmp)
+register_problem("bandgap")(BandgapReference)

@@ -27,6 +27,7 @@ from repro.core.neuk_gp import neural_kernel_factory
 from repro.core.selective_transfer import SelectiveTransfer
 from repro.gp import GPRegression, MultiOutputGP
 from repro.moo import NSGA2
+from repro.study.registry import register_optimizer
 from repro.utils.random import RandomState, as_rng
 
 
@@ -49,6 +50,33 @@ class KATOConfig:
     kernel_kwargs: dict = field(default_factory=dict)
 
 
+def _kato_config(context) -> KATOConfig:
+    """KATOConfig from the build context (quick-scale defaults + overrides)."""
+    kwargs = dict(batch_size=4, surrogate_train_iters=20, kat_train_iters=60,
+                  pop_size=32, n_generations=10) if context.quick else {}
+    if context.batch_size is not None:
+        kwargs["batch_size"] = int(context.batch_size)
+    kwargs.update(context.options)
+    return KATOConfig(**kwargs)
+
+
+def _build_kato(cls, problem, rng, context):
+    # "kato" is the no-transfer ablation ("KATO w/o TL"): a provided source
+    # is deliberately ignored, exactly as the old factories did.
+    return cls(problem, source=None, config=_kato_config(context), rng=rng)
+
+
+def _build_kato_tl(cls, problem, rng, context):
+    return cls(problem, source=context.source, config=_kato_config(context),
+               rng=rng)
+
+
+@register_optimizer("kato", builder=_build_kato,
+                    description="KATO without transfer (NeukGP + modified "
+                                "constrained MACE)")
+@register_optimizer("kato_tl", builder=_build_kato_tl, requires_source=True,
+                    description="Full KATO with knowledge alignment and "
+                                "selective transfer from a source model")
 class KATO(BaseOptimizer):
     """Knowledge Alignment and Transfer Optimization (Algorithm 1).
 

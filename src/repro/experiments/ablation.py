@@ -5,6 +5,11 @@
 * :func:`run_stl_ablation` -- selective transfer vs always-transfer vs
   never-transfer when the source is deliberately mismatched (the scenario
   motivating paper section 3.4).
+
+Both run through the Study API; the "always-transfer" arm (which rigs
+KATO's selective-transfer bandit) uses :class:`repro.study.Study`'s
+``optimizer_factory`` escape hatch, since a rigged optimizer is not
+expressible as declarative spec data.
 """
 
 from __future__ import annotations
@@ -13,10 +18,8 @@ import time
 
 import numpy as np
 
-from repro.circuits import make_problem
-from repro.core import KATO, KATOConfig, SourceModel
-from repro.experiments.runner import build_constrained_optimizer, make_source_model
-from repro.utils.random import spawn_rngs
+from repro.study import Study, StudySpec, TransferSpec, run_study
+from repro.study.sources import make_source_model
 
 
 def run_mace_ablation(circuit: str = "two_stage_opamp", technology: str = "180nm",
@@ -29,17 +32,16 @@ def run_mace_ablation(circuit: str = "two_stage_opamp", technology: str = "180nm
     """
     results: dict[str, dict[str, float]] = {}
     for variant in ("mace", "mace_modified"):
-        finals, times = [], []
-        for rng in spawn_rngs(seed, n_seeds):
-            problem = make_problem(circuit, technology)
-            optimizer = build_constrained_optimizer(variant, problem, rng, quick=quick)
-            start = time.perf_counter()
-            history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
-            times.append(time.perf_counter() - start)
-            finals.append(history.best_curve(constrained=True)[-1])
+        spec = StudySpec(optimizer=variant, circuit=circuit, technology=technology,
+                         n_simulations=n_simulations, n_init=n_init,
+                         seed=seed, n_seeds=n_seeds, quick=quick,
+                         tag=f"ablation:mace:{variant}")
+        start = time.perf_counter()
+        outcome = run_study(spec)
+        elapsed = time.perf_counter() - start
         results[variant] = {
-            "mean_best_objective": float(np.mean(finals)),
-            "mean_wall_time_s": float(np.mean(times)),
+            "mean_best_objective": float(np.mean(outcome["curves"][:, -1])),
+            "mean_wall_time_s": float(elapsed / n_seeds),
         }
     return results
 
@@ -55,31 +57,48 @@ def run_stl_ablation(target_circuit: str = "two_stage_opamp",
     The source is the bandgap (a very different circuit), the setting where
     blind transfer is expected to hurt and STL is expected to hold its own.
     """
-    source = make_source_model(mismatched_source_circuit, "180nm",
-                               n_samples=n_source_samples, seed=seed)
-    config_kwargs = dict(batch_size=4, surrogate_train_iters=20, kat_train_iters=60,
-                         pop_size=32, n_generations=10) if quick else {}
+    transfer = TransferSpec(circuit=mismatched_source_circuit, technology="180nm",
+                            n_samples=n_source_samples, seed=seed)
 
-    def make_kato(problem, rng, mode: str) -> KATO:
-        config = KATOConfig(**config_kwargs) if config_kwargs else KATOConfig()
-        if mode == "never":
-            return KATO(problem, source=None, config=config, rng=rng)
-        optimizer = KATO(problem, source=source, config=config, rng=rng)
-        if mode == "always":
-            # Force all proposals to come from the KAT-GP model by giving the
-            # target-only model a negligible initial weight.
-            from repro.core.selective_transfer import SelectiveTransfer
-            optimizer.selector = SelectiveTransfer([1e6, 1e-3],
-                                                   names=["kat_gp", "neuk_gp"], rng=rng)
-        return optimizer
+    def base_spec(optimizer: str, mode: str) -> StudySpec:
+        return StudySpec(optimizer=optimizer, circuit=target_circuit,
+                         technology=target_technology,
+                         n_simulations=n_simulations, n_init=n_init,
+                         seed=seed, n_seeds=n_seeds, quick=quick,
+                         transfer=transfer if optimizer == "kato_tl" else None,
+                         tag=f"ablation:stl:{mode}")
 
     results: dict[str, dict[str, float]] = {}
     for mode in ("stl", "always", "never"):
-        finals = []
-        for rng in spawn_rngs(seed, n_seeds):
-            problem = make_problem(target_circuit, target_technology)
-            optimizer = make_kato(problem, rng, mode)
-            history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
-            finals.append(history.best_curve(constrained=True)[-1])
-        results[mode] = {"mean_best_objective": float(np.mean(finals))}
+        if mode == "never":
+            outcome = run_study(base_spec("kato", mode))
+        elif mode == "stl":
+            outcome = run_study(base_spec("kato_tl", mode))
+        else:
+            # Rigged arm: force all proposals through the KAT-GP model by
+            # giving the target-only model a negligible bandit weight.  The
+            # optimizer itself comes from the registry builder, so all
+            # three arms share one quick-scale configuration.
+            spec = base_spec("kato_tl", mode)
+            source = make_source_model(mismatched_source_circuit, "180nm",
+                                       n_samples=n_source_samples, seed=seed)
+
+            def always_transfer_factory(problem, rng):
+                from repro.core.selective_transfer import SelectiveTransfer
+                from repro.study.registry import build_optimizer
+                optimizer = build_optimizer("kato_tl", problem, rng,
+                                            quick=quick, source=source)
+                optimizer.selector = SelectiveTransfer(
+                    [1e6, 1e-3], names=["kat_gp", "neuk_gp"], rng=rng)
+                return optimizer
+
+            finals = []
+            for run_seed in spec.spawn_seeds():
+                study = Study(spec, seed=run_seed,
+                              optimizer_factory=always_transfer_factory)
+                finals.append(study.run().best_curve()[-1])
+            results[mode] = {"mean_best_objective": float(np.mean(finals))}
+            continue
+        results[mode] = {
+            "mean_best_objective": float(np.mean(outcome["curves"][:, -1]))}
     return results

@@ -4,14 +4,14 @@ MESMOC, USeMOC, constrained MACE and KATO minimise the objective subject to
 the specification constraints.  As in the paper, every method starts from the
 same pool of random initial designs (300 in the paper; configurable here) and
 only feasible designs improve the reported best-so-far curve.
+
+Each method is one declarative :class:`repro.study.StudySpec` executed by
+:func:`repro.study.run_study`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.circuits import make_problem
-from repro.experiments.runner import build_constrained_optimizer, run_repeated
+from repro.study import StudySpec, run_study
 
 DEFAULT_METHODS = ("mesmoc", "usemoc", "mace", "kato")
 
@@ -22,19 +22,14 @@ def run_constrained_experiment(circuit: str = "two_stage_opamp",
                                n_simulations: int = 80, n_init: int = 40,
                                n_seeds: int = 3, seed: int = 0,
                                quick: bool = True) -> dict[str, dict[str, object]]:
-    """Run Fig. 5 for one circuit; returns ``{method: run_repeated(...) result}``."""
-
-    def problem_factory():
-        return make_problem(circuit, technology)
-
+    """Run Fig. 5 for one circuit; returns ``{method: run_study(...) result}``."""
     results: dict[str, dict[str, object]] = {}
     for method in methods:
-        def optimizer_factory(problem, rng, method=method):
-            return build_constrained_optimizer(method, problem, rng, quick=quick)
-
-        results[method] = run_repeated(problem_factory, optimizer_factory,
-                                       n_simulations=n_simulations, n_init=n_init,
-                                       n_seeds=n_seeds, seed=seed, constrained=True)
+        spec = StudySpec(optimizer=method, circuit=circuit, technology=technology,
+                         n_simulations=n_simulations, n_init=n_init,
+                         seed=seed, n_seeds=n_seeds, quick=quick,
+                         tag=f"fig5:{circuit}")
+        results[method] = run_study(spec)
     return results
 
 

@@ -4,14 +4,17 @@ Random search, SMAC-RF, MACE and KATO maximise the Eq.-2 figure of merit on
 the two-stage OpAmp, three-stage OpAmp and bandgap, starting from 10 random
 simulations.  The output is the best-FOM-versus-simulation-budget curve per
 method, averaged over seeds -- the quantity plotted in Fig. 4(a-c).
+
+Each (method, circuit) cell is one declarative :class:`repro.study.StudySpec`
+executed by :func:`repro.study.run_study`; the shared FOM normalisation is
+computed once and pinned into every spec so all curves are on one scale (as
+in the paper).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits import FOMProblem, make_problem
-from repro.experiments.runner import build_fom_optimizer, run_repeated
+from repro.study import StudySpec, run_study
 
 DEFAULT_METHODS = ("rs", "smac_rf", "mace", "kato")
 
@@ -21,24 +24,21 @@ def run_fom_experiment(circuit: str = "two_stage_opamp", technology: str = "180n
                        n_init: int = 10, n_seeds: int = 3, seed: int = 0,
                        n_normalization_samples: int = 100,
                        quick: bool = True) -> dict[str, dict[str, object]]:
-    """Run Fig. 4 for one circuit; returns ``{method: run_repeated(...) result}``."""
+    """Run Fig. 4 for one circuit; returns ``{method: run_study(...) result}``."""
     # A single FOM normalisation is shared across methods and seeds so all
     # curves are on the same scale (as in the paper).
     norm_problem = FOMProblem(make_problem(circuit, technology),
                               n_normalization_samples=n_normalization_samples, rng=seed)
     normalization = norm_problem.normalization
 
-    def problem_factory():
-        return FOMProblem(make_problem(circuit, technology), normalization=normalization)
-
     results: dict[str, dict[str, object]] = {}
     for method in methods:
-        def optimizer_factory(problem, rng, method=method):
-            return build_fom_optimizer(method, problem, rng, quick=quick)
-
-        results[method] = run_repeated(problem_factory, optimizer_factory,
-                                       n_simulations=n_simulations, n_init=n_init,
-                                       n_seeds=n_seeds, seed=seed, constrained=False)
+        spec = StudySpec(optimizer=method, circuit=circuit, technology=technology,
+                         n_simulations=n_simulations, n_init=n_init,
+                         seed=seed, n_seeds=n_seeds, quick=quick,
+                         fom=True, fom_normalization=normalization,
+                         tag=f"fig4:{circuit}")
+        results[method] = run_study(spec)
     return results
 
 

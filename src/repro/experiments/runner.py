@@ -1,105 +1,59 @@
-"""Shared experiment plumbing: optimizer factories and repeated runs."""
+"""Shared experiment plumbing: repeated runs and deprecated optimizer shims.
+
+The ``if/elif`` optimizer factories that used to live here were replaced by
+the decorator-based registry in :mod:`repro.study.registry`;
+:func:`build_fom_optimizer` and :func:`build_constrained_optimizer` remain as
+thin deprecated shims so old scripts keep working, and
+:func:`make_source_model` is re-exported from :mod:`repro.study.sources`.
+New code should go through :class:`repro.study.StudySpec` /
+:func:`repro.study.run_study` (or :func:`repro.study.build_optimizer` when a
+bare optimizer instance is needed).
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
 
-from repro.baselines import MESMOC, TLMBO, USeMOC
-from repro.bo import ConstrainedMACE, MACE, OptimizationHistory, RandomSearch, SMACRF
+from repro.bo import OptimizationHistory
 from repro.bo.problem import OptimizationProblem
-from repro.circuits import FOMProblem, make_problem
-from repro.core import KATO, KATOConfig, SourceModel
 from repro.engine import ExecutionBackend, resolve_backend
+from repro.study.registry import build_optimizer as _registry_build
+from repro.study.sources import make_source_model
 from repro.utils.random import spawn_rngs
 from repro.utils.stats import summarize_runs
 
-
-def make_source_model(circuit: str, technology: str, n_samples: int = 200,
-                      seed: int = 0, train_iters: int = 60,
-                      fom: bool = False) -> SourceModel:
-    """Build a frozen source model from random simulations of a source circuit.
-
-    This mirrors the paper's transfer setup ("each experiment provides 200
-    random samples for the source data").  With ``fom=True`` the source
-    outputs are the scalar FOM instead of the raw metric vector.
-    """
-    problem = make_problem(circuit, technology)
-    if fom:
-        problem = FOMProblem(problem, n_normalization_samples=min(100, n_samples), rng=seed)
-    rng = np.random.default_rng(seed)
-    designs = problem.design_space.sample(n_samples, rng=rng)
-    evaluations = problem.evaluate_batch(designs)
-    x_unit = problem.design_space.to_unit(np.array([e.x for e in evaluations]))
-    if fom:
-        y = np.array([[e.metrics["fom"]] for e in evaluations])
-        names = ["fom"]
-    else:
-        y = problem.metrics_matrix(evaluations)
-        names = problem.metric_names
-    return SourceModel(x_unit, y, metric_names=names, train_iters=train_iters)
+__all__ = ["make_source_model", "build_fom_optimizer",
+           "build_constrained_optimizer", "run_repeated"]
 
 
-def _kato_config(quick: bool) -> KATOConfig:
-    if quick:
-        return KATOConfig(batch_size=4, surrogate_train_iters=20, kat_train_iters=60,
-                          pop_size=32, n_generations=10)
-    return KATOConfig()
+def _deprecated_shim(shim: str) -> None:
+    warnings.warn(
+        f"{shim} is deprecated; resolve optimizers through the registry "
+        "(repro.study.build_optimizer) or run them via repro.study.Study",
+        DeprecationWarning, stacklevel=3)
 
 
 def build_fom_optimizer(name: str, problem: OptimizationProblem, rng,
-                        source: SourceModel | None = None,
-                        source_data: tuple[np.ndarray, np.ndarray] | None = None,
-                        quick: bool = True):
-    """Factory for the FOM (unconstrained) experiment methods of Fig. 4 / 6a-b."""
-    key = name.lower()
-    if key in ("rs", "random", "random_search"):
-        return RandomSearch(problem, batch_size=4, rng=rng)
-    if key in ("smac", "smac_rf", "smac-rf"):
-        return SMACRF(problem, batch_size=4, rng=rng)
-    if key == "mace":
-        iters = 20 if quick else 50
-        return MACE(problem, batch_size=4, rng=rng, surrogate_train_iters=iters,
-                    pop_size=32 if quick else 64, n_generations=10 if quick else 30)
-    if key == "kato":
-        return KATO(problem, source=None, config=_kato_config(quick), rng=rng)
-    if key in ("kato_tl", "kato-tl"):
-        return KATO(problem, source=source, config=_kato_config(quick), rng=rng)
-    if key == "tlmbo":
-        if source_data is None:
-            raise ValueError("TLMBO requires source_data=(x_unit, y)")
-        return TLMBO(problem, source_x=source_data[0], source_y=source_data[1],
-                     batch_size=4, rng=rng)
-    raise ValueError(f"unknown FOM method {name!r}")
+                        source=None, source_data=None, quick: bool = True):
+    """Deprecated shim for the FOM (unconstrained) methods of Fig. 4 / 6a-b.
+
+    Alias handling, configuration and "did you mean" errors now come from
+    one registry table shared with the CLI and the Study API.
+    """
+    _deprecated_shim("build_fom_optimizer")
+    # As before: plain "kato" ignores a provided source (the w/o-TL ablation).
+    return _registry_build(name, problem, rng, quick=quick, source=source,
+                           source_data=source_data)
 
 
 def build_constrained_optimizer(name: str, problem: OptimizationProblem, rng,
-                                source: SourceModel | None = None,
-                                quick: bool = True):
-    """Factory for the constrained experiment methods of Fig. 5 / 6 and the tables."""
-    key = name.lower()
-    iters = 20 if quick else 50
-    pop = 32 if quick else 64
-    gens = 10 if quick else 30
-    if key == "mesmoc":
-        return MESMOC(problem, batch_size=4, rng=rng, surrogate_train_iters=iters)
-    if key == "usemoc":
-        return USeMOC(problem, batch_size=4, rng=rng, surrogate_train_iters=iters,
-                      pop_size=pop, n_generations=gens)
-    if key == "mace":
-        return ConstrainedMACE(problem, batch_size=4, rng=rng, variant="full",
-                               surrogate_train_iters=iters, pop_size=pop,
-                               n_generations=gens)
-    if key == "mace_modified":
-        return ConstrainedMACE(problem, batch_size=4, rng=rng, variant="modified",
-                               surrogate_train_iters=iters, pop_size=pop,
-                               n_generations=gens)
-    if key == "kato":
-        return KATO(problem, source=None, config=_kato_config(quick), rng=rng)
-    if key in ("kato_tl", "kato-tl"):
-        return KATO(problem, source=source, config=_kato_config(quick), rng=rng)
-    raise ValueError(f"unknown constrained method {name!r}")
+                                source=None, quick: bool = True):
+    """Deprecated shim for the constrained methods of Fig. 5 / 6 and the tables."""
+    _deprecated_shim("build_constrained_optimizer")
+    return _registry_build(name, problem, rng, quick=quick, source=source)
 
 
 def _run_one_seed(task: tuple) -> tuple[np.ndarray, OptimizationHistory]:
@@ -123,6 +77,11 @@ def run_repeated(problem_factory: Callable[[], OptimizationProblem],
                  backend: str | ExecutionBackend | None = "serial",
                  ) -> dict[str, object]:
     """Run one method over several seeds and aggregate the best-so-far curves.
+
+    This is the factory-based counterpart of :func:`repro.study.run_study`
+    for problems/optimizers that are not registry-expressible (ad-hoc
+    callables, mutated optimizer instances).  Declarative runs should prefer
+    ``run_study``, which adds callbacks and checkpoint/resume.
 
     The repetitions are fully independent solves, so they fan out across the
     execution ``backend`` (``"serial"`` by default, which reproduces the

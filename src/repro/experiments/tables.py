@@ -1,16 +1,16 @@
-"""Experiments E4 and E8 (paper Tables 1 and 2): best-design metric tables."""
+"""Experiments E4 and E8 (paper Tables 1 and 2): best-design metric tables.
+
+Every table cell is one declarative :class:`repro.study.StudySpec` run
+through the Study API; per-method seeds derive deterministically from the
+experiment seed.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines import evaluate_expert
 from repro.circuits import make_problem
-from repro.experiments.runner import (
-    build_constrained_optimizer,
-    make_source_model,
-)
-from repro.utils.random import spawn_rngs
+from repro.study import StudySpec, TransferSpec, run_study
+from repro.utils.random import spawn_seed_ints
 
 TABLE1_CIRCUITS = ("two_stage_opamp", "three_stage_opamp", "bandgap")
 TABLE1_METHODS = ("mesmoc", "usemoc", "mace", "kato")
@@ -24,6 +24,17 @@ def _best_metrics(problem, history) -> dict[str, float]:
     if best is None:
         return {name: float("nan") for name in problem.metric_names}
     return {name: float(best.metrics[name]) for name in problem.metric_names}
+
+
+def _child_seeds(seed: int, count: int) -> list[int]:
+    """Independent integer seeds, one per table row (stable in ``seed``)."""
+    return spawn_seed_ints(seed, count)
+
+
+def _run_cell(spec: StudySpec) -> dict[str, float]:
+    """One table cell: run the study, extract the best feasible metrics."""
+    result = run_study(spec)["results"][0]
+    return _best_metrics(result.history.problem, result.history)
 
 
 def run_table1(circuits=TABLE1_CIRCUITS, methods=TABLE1_METHODS,
@@ -42,27 +53,31 @@ def run_table1(circuits=TABLE1_CIRCUITS, methods=TABLE1_METHODS,
         expert = evaluate_expert(problem)
         rows["human_expert"] = {name: float(expert.metrics[name])
                                 for name in problem.metric_names}
-        for method, rng in zip(methods, spawn_rngs(seed, len(methods))):
-            run_problem = make_problem(circuit, technology)
-            optimizer = build_constrained_optimizer(method, run_problem, rng, quick=quick)
-            history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
-            rows[method] = _best_metrics(run_problem, history)
+        for method, method_seed in zip(methods, _child_seeds(seed, len(methods))):
+            rows[method] = _run_cell(StudySpec(
+                optimizer=method, circuit=circuit, technology=technology,
+                n_simulations=n_simulations, n_init=n_init,
+                seed=method_seed, quick=quick, tag=f"table1:{circuit}"))
         table[circuit] = rows
     return table
 
 
-def _table2_source(variant: str, circuit: str, n_source: int, seed: int):
-    """Source model for each Table 2 transfer variant."""
+def _table2_transfer(variant: str, circuit: str, n_source: int,
+                     seed: int) -> TransferSpec | None:
+    """Transfer configuration for each Table 2 variant."""
     other = ("three_stage_opamp" if circuit == "two_stage_opamp"
              else "two_stage_opamp")
     if variant == "kato":
         return None
     if variant == "kato_tl_node":
-        return make_source_model(circuit, "180nm", n_samples=n_source, seed=seed)
+        return TransferSpec(circuit=circuit, technology="180nm",
+                            n_samples=n_source, seed=seed)
     if variant == "kato_tl_design":
-        return make_source_model(other, "40nm", n_samples=n_source, seed=seed)
+        return TransferSpec(circuit=other, technology="40nm",
+                            n_samples=n_source, seed=seed)
     if variant == "kato_tl_both":
-        return make_source_model(other, "180nm", n_samples=n_source, seed=seed)
+        return TransferSpec(circuit=other, technology="180nm",
+                            n_samples=n_source, seed=seed)
     raise ValueError(f"unknown Table 2 variant {variant!r}")
 
 
@@ -78,13 +93,13 @@ def run_table2(circuits=TABLE2_CIRCUITS, variants=TABLE2_VARIANTS,
         expert = evaluate_expert(problem)
         rows["human_expert"] = {name: float(expert.metrics[name])
                                 for name in problem.metric_names}
-        for variant, rng in zip(variants, spawn_rngs(seed, len(variants))):
-            source = _table2_source(variant, circuit, n_source_samples, seed)
-            run_problem = make_problem(circuit, "40nm")
-            method = "kato" if source is None else "kato_tl"
-            optimizer = build_constrained_optimizer(method, run_problem, rng,
-                                                    source=source, quick=quick)
-            history = optimizer.optimize(n_simulations=n_simulations, n_init=n_init)
-            rows[variant] = _best_metrics(run_problem, history)
+        for variant, variant_seed in zip(variants, _child_seeds(seed, len(variants))):
+            transfer = _table2_transfer(variant, circuit, n_source_samples, seed)
+            rows[variant] = _run_cell(StudySpec(
+                optimizer="kato" if transfer is None else "kato_tl",
+                circuit=circuit, technology="40nm",
+                n_simulations=n_simulations, n_init=n_init,
+                seed=variant_seed, quick=quick, transfer=transfer,
+                tag=f"table2:{circuit}:{variant}"))
         table[circuit] = rows
     return table

@@ -6,20 +6,16 @@ technology node, a different topology, or both), then compare KATO with and
 without transfer on the target circuit.  TLMBO joins the comparison whenever
 the source and target design spaces match (technology-only transfer), which
 is the only setting it supports.
+
+Each method is one declarative :class:`repro.study.StudySpec`; the transfer
+source is part of the spec (:class:`repro.study.TransferSpec`), so a panel
+run is fully described by serializable data.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits import FOMProblem, make_problem
-from repro.core import SourceModel
-from repro.experiments.runner import (
-    build_constrained_optimizer,
-    build_fom_optimizer,
-    make_source_model,
-    run_repeated,
-)
+from repro.study import StudySpec, TransferSpec, run_study
 
 #: (source_circuit, source_tech, target_circuit, target_tech) per Fig. 6 panel.
 FIG6_PANELS = {
@@ -41,56 +37,44 @@ def run_transfer_experiment(source_circuit: str, source_technology: str,
                             include_tlmbo: bool | None = None,
                             quick: bool = True) -> dict[str, dict[str, object]]:
     """One Fig. 6 panel: KATO vs KATO(TL) (vs TLMBO when applicable)."""
-    source = make_source_model(source_circuit, source_technology,
-                               n_samples=n_source_samples, seed=seed)
     same_space = (source_circuit == target_circuit)
     if include_tlmbo is None:
         include_tlmbo = same_space and not constrained
 
-    if constrained:
-        def problem_factory():
-            return make_problem(target_circuit, target_technology)
-    else:
+    fom = not constrained
+    fom_normalization = None
+    if fom:
+        # One normalisation shared by all methods and seeds (paper scale).
         norm_problem = FOMProblem(make_problem(target_circuit, target_technology),
                                   n_normalization_samples=60, rng=seed)
-        normalization = norm_problem.normalization
+        fom_normalization = norm_problem.normalization
 
-        def problem_factory():
-            return FOMProblem(make_problem(target_circuit, target_technology),
-                              normalization=normalization)
+    transfer = TransferSpec(circuit=source_circuit, technology=source_technology,
+                            n_samples=n_source_samples, seed=seed)
 
-    methods: dict[str, object] = {}
+    def panel_spec(method: str, method_transfer: TransferSpec | None) -> StudySpec:
+        return StudySpec(optimizer=method, circuit=target_circuit,
+                         technology=target_technology,
+                         n_simulations=n_simulations, n_init=n_init,
+                         seed=seed, n_seeds=n_seeds, quick=quick,
+                         fom=fom, fom_normalization=fom_normalization,
+                         transfer=method_transfer,
+                         tag=f"fig6:{source_circuit}@{source_technology}->"
+                             f"{target_circuit}@{target_technology}")
 
-    def kato_factory(problem, rng):
-        builder = build_constrained_optimizer if constrained else build_fom_optimizer
-        return builder("kato", problem, rng, quick=quick)
-
-    def kato_tl_factory(problem, rng):
-        builder = build_constrained_optimizer if constrained else build_fom_optimizer
-        return builder("kato_tl", problem, rng, source=source, quick=quick)
-
-    methods["kato"] = kato_factory
-    methods["kato_tl"] = kato_tl_factory
-
+    specs: dict[str, StudySpec] = {
+        "kato": panel_spec("kato", None),
+        "kato_tl": panel_spec("kato_tl", transfer),
+    }
     if include_tlmbo and same_space:
-        source_fom = make_source_model(source_circuit, source_technology,
-                                       n_samples=n_source_samples, seed=seed + 1,
-                                       fom=True)
-        source_data = (source_fom.x, source_fom.y[:, 0])
+        # TLMBO consumes raw (x, FOM) source observations; a fom=True
+        # transfer spec (with its own seed, as in the original harness)
+        # provides them.
+        specs["tlmbo"] = panel_spec("tlmbo", TransferSpec(
+            circuit=source_circuit, technology=source_technology,
+            n_samples=n_source_samples, seed=seed + 1, fom=True))
 
-        def tlmbo_factory(problem, rng):
-            return build_fom_optimizer("tlmbo", problem, rng,
-                                       source_data=source_data, quick=quick)
-
-        methods["tlmbo"] = tlmbo_factory
-
-    results: dict[str, dict[str, object]] = {}
-    for name, factory in methods.items():
-        results[name] = run_repeated(problem_factory, factory,
-                                     n_simulations=n_simulations, n_init=n_init,
-                                     n_seeds=n_seeds, seed=seed,
-                                     constrained=constrained)
-    return results
+    return {name: run_study(spec) for name, spec in specs.items()}
 
 
 def run_fig6_panel(panel: str, **kwargs) -> dict[str, dict[str, object]]:

@@ -1,0 +1,241 @@
+"""JSONL study checkpoints: kill a run, resume it bit-identically.
+
+A checkpoint file is a line-oriented JSON log:
+
+* line 1 -- a ``header`` record carrying the full :class:`StudySpec` (and a
+  format version), so ``python -m repro resume <file>`` needs nothing else;
+* one ``batch`` record per evaluation batch (the initial designs and every
+  optimizer step), each carrying the complete
+  :class:`~repro.bo.problem.EvaluatedDesign` records and the optimizer's RNG
+  state after the batch (recorded for diagnostics);
+* a final ``finish`` record once the study completes.
+
+Records are flushed and fsynced per batch, and the reader tolerates a
+truncated final line, so a study killed mid-write still leaves a valid
+checkpoint.
+
+**How resume works.**  Every optimizer in this package is a deterministic
+function of ``(spec, seed)``: surrogate fits, acquisition searches and RNG
+draws all replay identically (the seeded-determinism tests pin this down).
+Resuming therefore re-runs the study from the start, but first primes the
+problem's :class:`~repro.engine.cache.DesignCache` with every checkpointed
+evaluation -- the replayed iterations propose bit-identical designs, hit the
+cache, and consume **zero simulations** (the paper's cost unit); only
+surrogate refits are recomputed.  Past the checkpointed prefix the study
+continues live.  This reproduces *all* optimizer-internal state (KAT-GP
+encoder weights, selective-transfer bandit counts, RNG streams) without any
+per-optimizer serialization code, which is what makes resumes bit-identical
+even for stateful optimizers like KATO.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bo.problem import EvaluatedDesign
+from repro.engine.cache import DesignCache
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Raised for unreadable or structurally invalid checkpoint files."""
+
+
+# ---------------------------------------------------------------------- #
+# evaluation <-> dict                                                     #
+# ---------------------------------------------------------------------- #
+def evaluation_to_dict(evaluation: EvaluatedDesign) -> dict:
+    """Plain-JSON form of one evaluation (floats round-trip bit-exactly)."""
+    return {
+        "x": [float(v) for v in np.asarray(evaluation.x, dtype=float).ravel()],
+        "metrics": {k: float(v) for k, v in evaluation.metrics.items()},
+        "objective": float(evaluation.objective),
+        "feasible": bool(evaluation.feasible),
+        "violation": float(evaluation.violation),
+        "tag": evaluation.tag,
+        "extra": {k: float(v) for k, v in evaluation.extra.items()},
+    }
+
+
+def evaluation_from_dict(data: dict) -> EvaluatedDesign:
+    return EvaluatedDesign(
+        x=np.asarray(data["x"], dtype=float),
+        metrics={k: float(v) for k, v in data["metrics"].items()},
+        objective=float(data["objective"]),
+        feasible=bool(data["feasible"]),
+        violation=float(data.get("violation", 0.0)),
+        tag=data.get("tag", ""),
+        extra={k: float(v) for k, v in data.get("extra", {}).items()},
+    )
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """JSON-able snapshot of a generator's state (ints serialize exactly)."""
+    return rng.bit_generator.state
+
+
+# ---------------------------------------------------------------------- #
+# writing                                                                 #
+# ---------------------------------------------------------------------- #
+class CheckpointWriter:
+    """Append-per-batch JSONL writer (one writer per running study).
+
+    A fresh run truncates ``path`` and appends as it goes.  A resume must
+    never destroy recorded progress, so :meth:`bootstrap` first writes the
+    checkpoint's existing header and batch records to a temporary file,
+    atomically replaces ``path`` with it, and only then continues appending
+    -- killing a resume at any point leaves a checkpoint at least as
+    complete as the one it started from.
+    """
+
+    def __init__(self, path: str | os.PathLike, resume_records: list[dict] | None = None):
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if resume_records is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        else:
+            temp_path = self.path + ".tmp"
+            self._handle = open(temp_path, "w", encoding="utf-8")
+            for record in resume_records:
+                self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            # The open handle keeps pointing at the inode after the rename,
+            # so subsequent appends land in the (now replaced) checkpoint.
+            os.replace(temp_path, self.path)
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def write_header(self, spec_dict: dict, seed: int) -> None:
+        self._write({"kind": "header", "version": CHECKPOINT_VERSION,
+                     "spec": spec_dict, "seed": int(seed)})
+
+    def write_batch(self, index: int, phase: str, evaluations,
+                    n_total: int, rng: np.random.Generator | None = None) -> None:
+        self._write({
+            "kind": "batch",
+            "index": int(index),
+            "phase": phase,
+            "n_total": int(n_total),
+            "evaluations": [evaluation_to_dict(e) for e in evaluations],
+            "rng_state": rng_state(rng) if rng is not None else None,
+        })
+
+    def write_finish(self, n_simulations: int, stop_reason: str | None) -> None:
+        self._write({"kind": "finish", "n_simulations": int(n_simulations),
+                     "stop_reason": stop_reason})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# reading                                                                 #
+# ---------------------------------------------------------------------- #
+@dataclass
+class CheckpointData:
+    """Parsed checkpoint contents."""
+
+    spec_dict: dict
+    seed: int
+    evaluations: list[EvaluatedDesign] = field(default_factory=list)
+    n_batches: int = 0
+    finished: bool = False
+    stop_reason: str | None = None
+    version: int = CHECKPOINT_VERSION
+    #: Header + batch records verbatim, for CheckpointWriter.resume_records
+    #: (a resume re-seeds the new file with these before appending).
+    raw_records: list[dict] = field(default_factory=list)
+
+
+def read_checkpoint(path: str | os.PathLike) -> CheckpointData:
+    """Parse a checkpoint file, tolerating a truncated trailing line."""
+    path = os.fspath(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if not lines:
+        raise CheckpointError(f"checkpoint {path!r} is empty")
+
+    records: list[dict] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if number == len(lines):
+                break  # a kill mid-write leaves a partial final line
+            raise CheckpointError(
+                f"checkpoint {path!r} line {number} is not valid JSON: "
+                f"{exc}") from exc
+    if not records:
+        raise CheckpointError(f"checkpoint {path!r} has no complete records")
+
+    header = records[0]
+    if header.get("kind") != "header" or "spec" not in header:
+        raise CheckpointError(
+            f"checkpoint {path!r} does not start with a header record "
+            "(is this a study checkpoint?)")
+    version = int(header.get("version", 0))
+    if version > CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has version {version}, newer than this "
+            f"code understands ({CHECKPOINT_VERSION})")
+
+    data = CheckpointData(spec_dict=header["spec"],
+                          seed=int(header.get("seed", header["spec"].get("seed", 0))),
+                          version=version, raw_records=[header])
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind == "batch":
+            data.evaluations.extend(
+                evaluation_from_dict(e) for e in record.get("evaluations", []))
+            data.n_batches += 1
+            data.raw_records.append(record)
+        elif kind == "finish":
+            data.finished = True
+            data.stop_reason = record.get("stop_reason")
+    return data
+
+
+# ---------------------------------------------------------------------- #
+# resume support                                                          #
+# ---------------------------------------------------------------------- #
+def prime_cache(problem, evaluations) -> int:
+    """Load checkpointed evaluations into the problem's design cache.
+
+    Keys are computed exactly as the engine computes them (clipped design
+    plus the problem's ``cache_token``), so the replayed optimizer proposals
+    hit instead of simulating.  Returns the number of primed entries.
+    """
+    engine = problem.engine
+    if engine.cache is None:
+        engine.cache = DesignCache()
+    space = problem.design_space
+    token = getattr(problem, "cache_token", problem.name)
+    count = 0
+    for evaluation in evaluations:
+        clipped = space.clip(np.asarray(evaluation.x, dtype=float).reshape(1, -1))[0]
+        engine.cache.put(DesignCache.key_for(token, clipped), evaluation)
+        count += 1
+    return count

@@ -1,0 +1,186 @@
+"""The ``python -m repro`` command line: declarative studies from spec files.
+
+Subcommands
+-----------
+``run <spec.json>``
+    Execute a study (all its seeds) and emit one ``study_result`` JSON line
+    per seed on stdout or to ``--output``.
+``resume <checkpoint.jsonl>``
+    Continue an interrupted study from its checkpoint; the replayed prefix
+    consumes no simulations and the final history is bit-identical to an
+    uninterrupted run.
+``list-optimizers`` / ``list-circuits``
+    Human-readable (or ``--json``) listings of both registries.
+
+Progress goes to stderr (``--quiet`` silences it); structured results go to
+stdout or the ``--output`` file, one JSON object per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative KATO-reproduction optimization studies.")
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run a study from a JSON spec file")
+    run.add_argument("spec", help="path to a StudySpec JSON file")
+    _add_run_output_options(run)
+    run.add_argument("--checkpoint", metavar="PATH",
+                     help="write a JSONL checkpoint (per seed) for resume")
+    run.add_argument("--seed", type=int, help="override spec.seed")
+    run.add_argument("--n-simulations", type=int,
+                     help="override spec.n_simulations")
+    run.add_argument("--n-seeds", type=int, help="override spec.n_seeds")
+    run.add_argument("--backend", help="override spec.backend "
+                                       "(serial/thread/process)")
+
+    resume = commands.add_parser(
+        "resume", help="continue an interrupted study from its checkpoint")
+    resume.add_argument("checkpoint", help="path to a study checkpoint JSONL")
+    _add_run_output_options(resume)
+
+    list_optimizers = commands.add_parser(
+        "list-optimizers", help="list registered optimizers and aliases")
+    list_optimizers.add_argument("--json", action="store_true", dest="as_json")
+
+    list_circuits = commands.add_parser(
+        "list-circuits", help="list registered circuit problems")
+    list_circuits.add_argument("--json", action="store_true", dest="as_json")
+    return parser
+
+
+def _add_run_output_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("-o", "--output", default="-", metavar="PATH",
+                           help="result JSONL file ('-' for stdout)")
+    subparser.add_argument("--quiet", action="store_true",
+                           help="suppress progress logging on stderr")
+
+
+def _emit_results(results: list[dict], output: str) -> None:
+    lines = [json.dumps(record, sort_keys=True) for record in results]
+    if output == "-":
+        for line in lines:
+            print(line)
+        return
+    with open(output, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def _run_callbacks(quiet: bool):
+    from repro.study.callbacks import LoggingCallback
+    return () if quiet else (LoggingCallback(),)
+
+
+def _apply_overrides(spec, args):
+    from dataclasses import replace
+    overrides = {}
+    for attribute in ("seed", "n_simulations", "n_seeds", "backend"):
+        value = getattr(args, attribute, None)
+        if value is not None:
+            overrides[attribute] = value
+    return replace(spec, **overrides) if overrides else spec
+
+
+def _command_run(args) -> int:
+    from repro.study.spec import StudySpec
+    from repro.study.study import run_study
+    spec = _apply_overrides(StudySpec.from_file(args.spec), args)
+    outcome = run_study(spec, callbacks=_run_callbacks(args.quiet),
+                        checkpoint_path=args.checkpoint)
+    _emit_results([result.to_record() for result in outcome["results"]],
+                  args.output)
+    return 0
+
+
+def _command_resume(args) -> int:
+    from repro.study.study import Study
+    study = Study.resume(args.checkpoint, callbacks=_run_callbacks(args.quiet))
+    result = study.run()
+    _emit_results([result.to_record()], args.output)
+    return 0
+
+
+def _command_list_optimizers(args) -> int:
+    from repro.study.registry import optimizer_specs
+    specs = optimizer_specs()
+    if args.as_json:
+        print(json.dumps([{
+            "name": spec.name,
+            "aliases": list(spec.aliases),
+            "class": spec.cls.__name__,
+            "constrained": spec.supports_constrained,
+            "unconstrained": spec.supports_unconstrained,
+            "requires_source": spec.requires_source,
+            "requires_source_data": spec.requires_source_data,
+            "description": spec.description,
+        } for spec in specs], indent=2))
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    print(f"{'NAME':<{width}}  PROBLEMS     TRANSFER  ALIASES")
+    for spec in specs:
+        problems = ("both" if spec.supports_constrained
+                    and spec.supports_unconstrained
+                    else "constrained" if spec.supports_constrained
+                    else "fom-only")
+        transfer = ("source" if spec.requires_source
+                    else "data" if spec.requires_source_data else "-")
+        aliases = ", ".join(spec.aliases) or "-"
+        print(f"{spec.name:<{width}}  {problems:<11}  {transfer:<8}  {aliases}")
+        if spec.description:
+            print(f"{'':<{width}}    {spec.description}")
+    return 0
+
+
+def _command_list_circuits(args) -> int:
+    from repro.circuits import available_problems, make_problem
+    names = available_problems()
+    if args.as_json:
+        print(json.dumps(names, indent=2))
+        return 0
+    for name in names:
+        problem = make_problem(name)
+        direction = "minimise" if problem.minimize else "maximise"
+        print(f"{name}: {direction} {problem.objective}, "
+              f"{problem.design_space.dim} variables, "
+              f"{problem.n_constraints} constraints")
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "resume": _command_resume,
+    "list-optimizers": _command_list_optimizers,
+    "list-circuits": _command_list_circuits,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted (checkpoints, if enabled, are resumable)",
+              file=sys.stderr)
+        return 130
+    except (ValueError, OSError, KeyError, ReproError) as exc:
+        # SpecError, UnknownOptimizerError, CheckpointError and unreadable
+        # files all land here: user errors get one clean line, not a trace.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

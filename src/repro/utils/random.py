@@ -38,3 +38,16 @@ def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
         children = seed.integers(0, 2**31 - 1, size=count)
         return [np.random.default_rng(int(c)) for c in children]
     return [np.random.default_rng(s) for s in root.spawn(count)]
+
+
+def spawn_seed_ints(seed: int, count: int) -> list[int]:
+    """``count`` independent *integer* seeds derived from ``seed``.
+
+    Unlike :func:`spawn_rngs` this returns plain ints, so each child run
+    stays individually serializable (the Study API records them in specs and
+    checkpoints).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]

@@ -59,3 +59,19 @@ def check_positive(value: float, name: str = "value") -> float:
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value}")
     return value
+
+
+def suggestion_hint(key: str, vocabulary, n: int = 3, cutoff: float = 0.5) -> str:
+    """A ``" (did you mean ...?)"`` fragment for unknown-name errors.
+
+    One shared implementation for every registry and spec lookup, so
+    error-message behaviour stays consistent across layers.  Returns an
+    empty string when nothing in ``vocabulary`` is close.
+    """
+    import difflib
+
+    close = difflib.get_close_matches(str(key), [str(v) for v in vocabulary],
+                                      n=n, cutoff=cutoff)
+    if not close:
+        return ""
+    return f" (did you mean {' or '.join(repr(c) for c in close)}?)"

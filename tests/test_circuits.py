@@ -24,9 +24,10 @@ GOOD_BANDGAP = dict(r_ptat=100e3, r_out=600e3, w_mirror=10e-6, l_mirror=1e-6,
 
 class TestRegistry:
     def test_available_problems(self):
-        assert set(available_problems()) == {"two_stage_opamp",
-                                             "two_stage_opamp_settling",
-                                             "three_stage_opamp", "bandgap"}
+        # The registry is open (register_problem), so other suites may add
+        # entries; the paper's circuits must always be present.
+        assert {"two_stage_opamp", "two_stage_opamp_settling",
+                "three_stage_opamp", "bandgap"} <= set(available_problems())
 
     def test_make_problem(self):
         problem = make_problem("two_stage_opamp", "40nm")
