@@ -1,0 +1,109 @@
+"""Benchmark B-CORNERS -- testbench OP reuse and PVT corner fan-out.
+
+Not a paper figure: this benchmark guards the declarative testbench layer.
+It measures
+
+* the operating-point-reuse speedup of the bench simulator (shared bias vs
+  the naive one-solve-per-analysis mode) on a multi-analysis bench,
+* nominal-vs-five-corner wall time for the ``two_stage_opamp_corners``
+  robust-sizing problem (serial and thread fan-out), and
+
+emits one machine-readable ``BENCH_CORNERS {json}`` line so CI can track
+regressions, next to the usual human-readable table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import ACSpec, OPSpec, Simulator, Testbench, gain_db
+from repro.circuits import make_problem
+
+from conftest import budget, record_bench, record_report
+
+GOOD_TWO_STAGE = dict(w_diff=20e-6, l_diff=0.5e-6, w_load=10e-6, l_load=0.5e-6,
+                      w_out=60e-6, l_out=0.3e-6, c_comp=2e-12, r_zero=2e3,
+                      i_bias1=20e-6, i_bias2=100e-6)
+
+
+def _multi_analysis_bench(problem) -> Testbench:
+    """Three AC sweeps around one bias: the OP-reuse showcase."""
+    frequencies = problem.ac_frequencies
+    return Testbench(
+        name="reuse_bench",
+        builders={"main": problem.build_circuit},
+        analyses=[
+            OPSpec("op"),
+            ACSpec("ac1", frequencies=frequencies, observe=("out",), op="op"),
+            ACSpec("ac2", frequencies=frequencies, observe=("out",), op="op"),
+            ACSpec("ac3", frequencies=frequencies, observe=("out",), op="op"),
+        ],
+        measures=[gain_db("ac1", "out", name="gain")])
+
+
+def _time_simulations(fn, designs) -> float:
+    start = time.perf_counter()
+    for design in designs:
+        fn(design)
+    return time.perf_counter() - start
+
+
+def test_bench_corners():
+    n_designs = budget(quick=8, paper=64)
+    problem = make_problem("two_stage_opamp")
+    rng = np.random.default_rng(11)
+    rows = problem.design_space.sample(n_designs, rng)
+    designs = [problem.design_space.as_dict(row) for row in rows]
+
+    # -- OP-reuse speedup on a multi-analysis bench ---------------------- #
+    bench = _multi_analysis_bench(problem)
+    shared_sim = Simulator(reuse_op=True)
+    naive_sim = Simulator(reuse_op=False)
+    shared_s = _time_simulations(lambda d: shared_sim.run(bench, d), designs)
+    naive_s = _time_simulations(lambda d: naive_sim.run(bench, d), designs)
+    reuse_speedup = naive_s / shared_s if shared_s > 0 else float("inf")
+    check = shared_sim.run(bench, GOOD_TWO_STAGE)
+    assert check.ok and check.stats["n_op_solves"] == 1
+
+    # -- nominal vs five-corner wall time -------------------------------- #
+    nominal_s = _time_simulations(problem.simulate, designs)
+    corner_problems = {name: make_problem("two_stage_opamp_corners",
+                                          backend=name, max_workers=5)
+                       for name in ("serial", "thread")}
+    corner_seconds = {}
+    try:
+        for name, corner_problem in corner_problems.items():
+            corner_problem.simulate(designs[0])  # warm any pool untimed
+            corner_seconds[name] = _time_simulations(corner_problem.simulate,
+                                                     designs)
+    finally:
+        for corner_problem in corner_problems.values():
+            corner_problem.close()
+    n_corners = len(corner_problems["serial"].corners)
+    per_corner_overhead = corner_seconds["serial"] / (nominal_s * n_corners)
+
+    record = {
+        "n_designs": n_designs,
+        "n_corners": n_corners,
+        "op_reuse_speedup": round(reuse_speedup, 3),
+        "bench_shared_s": round(shared_s, 4),
+        "bench_naive_s": round(naive_s, 4),
+        "nominal_s": round(nominal_s, 4),
+        "corners_serial_s": round(corner_seconds["serial"], 4),
+        "corners_thread_s": round(corner_seconds["thread"], 4),
+        "corner_overhead_vs_ideal": round(per_corner_overhead, 3),
+    }
+    record_bench("BENCH_CORNERS", record)
+    record_report(
+        f"Testbench corners ({n_designs} designs): OP-reuse speedup "
+        f"{reuse_speedup:.2f}x on a 4-analysis bench; 5-corner sweep "
+        f"{corner_seconds['serial']:.2f}s serial / "
+        f"{corner_seconds['thread']:.2f}s thread vs {nominal_s:.2f}s nominal "
+        f"({per_corner_overhead:.2f}x the ideal {n_corners}x cost)")
+
+    # Guard rails, generous for CI noise: sharing the bias must never lose,
+    # and the five-corner sweep must stay within a sane multiple of nominal.
+    assert reuse_speedup > 1.1
+    assert corner_seconds["serial"] < nominal_s * n_corners * 3.0

@@ -1,0 +1,99 @@
+"""Declarative testbenches: the simulation-side counterpart of ``repro.study``.
+
+``repro.study`` gave the optimization side one declarative front door; this
+package does the same for the simulation side:
+
+* :class:`Testbench` -- a circuit builder (or several netlist variants of
+  one design) plus named, declarative analyses
+  (:class:`OPSpec`/:class:`ACSpec`/:class:`TranSpec`/:class:`DCSweepSpec`/
+  :class:`TempSweepSpec`), validity :class:`Check` predicates and
+  :class:`Measure` definitions bound to those analyses;
+* :class:`Simulator` -- the execution session: builds each circuit once,
+  solves each ``(circuit, temperature)`` operating point once and shares it
+  across every dependent analysis, and returns one typed :class:`SimResult`;
+* PVT corners -- :class:`CornerSpec` process/temperature/supply conditions,
+  :func:`apply_corner` deriving per-corner technology cards, and
+  :class:`CornerSweep` fanning a bench across corners through the same
+  execution backends as the batched evaluation engine, with
+  :func:`worst_case_metrics` folding the per-corner results into the
+  robust-sizing worst case.
+
+The circuit problems in :mod:`repro.circuits` declare their testbenches with
+this vocabulary (see ``CircuitSizingProblem.testbench``); their metrics at
+the nominal corner are bit-identical to the legacy imperative paths, which
+the equivalence suite in ``tests/test_bench.py`` enforces.
+"""
+
+from repro.bench.analyses import (
+    ACSpec,
+    AnalysisSpec,
+    DCSweepSpec,
+    OPSpec,
+    SweepResult,
+    TempSweepSpec,
+    TranSpec,
+)
+from repro.bench.corners import (
+    CornerFailure,
+    CornerSpec,
+    CornerSweep,
+    apply_corner,
+    nominal_corner,
+    standard_corners,
+    worst_case_metrics,
+)
+from repro.bench.measures import (
+    Measure,
+    MeasureContext,
+    MeasurementError,
+    bandwidth_3db_mhz,
+    gain_at_db,
+    gain_db,
+    gbw_mhz,
+    node_dc,
+    overshoot_pct,
+    phase_margin_deg,
+    psrr_db,
+    settling_time_us,
+    slew_v_per_us,
+    supply_current_ua,
+    tc_ppm,
+)
+from repro.bench.simulator import Simulator
+from repro.bench.testbench import Check, SimResult, Testbench
+
+__all__ = [
+    "AnalysisSpec",
+    "OPSpec",
+    "ACSpec",
+    "TranSpec",
+    "DCSweepSpec",
+    "TempSweepSpec",
+    "SweepResult",
+    "Measure",
+    "MeasureContext",
+    "MeasurementError",
+    "Check",
+    "SimResult",
+    "Testbench",
+    "Simulator",
+    "CornerSpec",
+    "CornerSweep",
+    "CornerFailure",
+    "nominal_corner",
+    "standard_corners",
+    "apply_corner",
+    "worst_case_metrics",
+    "gain_db",
+    "gbw_mhz",
+    "phase_margin_deg",
+    "gain_at_db",
+    "psrr_db",
+    "bandwidth_3db_mhz",
+    "supply_current_ua",
+    "node_dc",
+    "slew_v_per_us",
+    "overshoot_pct",
+    "settling_time_us",
+    "tc_ppm",
+]

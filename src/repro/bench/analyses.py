@@ -1,0 +1,156 @@
+"""Declarative analysis specifications executed by the bench simulator.
+
+An :class:`AnalysisSpec` names one simulation pass over one of a testbench's
+circuits -- an operating point, an AC sweep, a transient run, a DC sweep or a
+temperature sweep -- as plain data.  The :class:`~repro.bench.Simulator`
+session executes the specs in order, memoising operating points so every
+analysis that depends on the same ``(circuit, temperature)`` bias shares one
+Newton solve instead of re-solving it per analysis.
+
+Temperature is a first-class per-analysis field: ``temperature=None`` (the
+default) inherits the testbench default, and any analysis can pin its own
+value -- this is how PVT corner sweeps retarget a whole bench to a corner
+temperature without touching the specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spice.dc import OperatingPoint
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """Base class: one named analysis bound to one of the bench's circuits.
+
+    Attributes
+    ----------
+    name:
+        Unique key of this analysis within its testbench; measures reference
+        analyses by this name.
+    circuit:
+        Key of the circuit builder the analysis runs on (a testbench can own
+        several variants of one netlist, e.g. open-loop and feedback).
+    temperature:
+        Analysis temperature in Celsius; ``None`` inherits the testbench
+        default (nominally 27).
+    """
+
+    name: str
+    circuit: str = "main"
+    temperature: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("analysis needs a non-empty name")
+
+    def resolved_temperature(self, default: float) -> float:
+        return default if self.temperature is None else float(self.temperature)
+
+
+@dataclass(frozen=True)
+class OPSpec(AnalysisSpec):
+    """DC operating point (``transient=True`` holds waveform sources at t=0).
+
+    The solved :class:`~repro.spice.OperatingPoint` is registered both under
+    the analysis name and under the simulator's implicit
+    ``(circuit, temperature, transient)`` key, so later analyses on the same
+    bias reuse it instead of re-solving.
+    """
+
+    transient: bool = False
+
+
+@dataclass(frozen=True)
+class ACSpec(AnalysisSpec):
+    """Complex small-signal frequency sweep.
+
+    Attributes
+    ----------
+    frequencies:
+        Analysis frequencies in hertz (required).
+    observe:
+        Node names to record.
+    op:
+        Name of the :class:`OPSpec` whose solution linearises the circuit;
+        ``None`` reuses (or solves once) the implicit operating point of this
+        analysis' own ``(circuit, temperature)``.  Referencing an OP solved
+        on a *different* circuit key is allowed as long as device names match
+        -- the standard recipe for open-loop AC around a closed-loop bias.
+    """
+
+    frequencies: np.ndarray | None = None
+    observe: tuple[str, ...] = ()
+    op: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.frequencies is None:
+            raise ValueError(f"AC analysis {self.name!r} needs frequencies")
+        if not self.observe:
+            raise ValueError(f"AC analysis {self.name!r} needs observe nodes")
+
+
+@dataclass(frozen=True)
+class TranSpec(AnalysisSpec):
+    """Adaptive-timestep transient run from the transient operating point."""
+
+    t_stop: float = 0.0
+    observe: tuple[str, ...] = ()
+    reltol: float = 1e-4
+    abstol: float = 1e-6
+    op: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.t_stop <= 0.0:
+            raise ValueError(f"transient analysis {self.name!r} needs t_stop > 0")
+        if not self.observe:
+            raise ValueError(f"transient analysis {self.name!r} needs observe nodes")
+
+
+@dataclass(frozen=True)
+class DCSweepSpec(AnalysisSpec):
+    """Sweep one device attribute and record one node (restores the value)."""
+
+    device: str = ""
+    attribute: str = "dc"
+    values: np.ndarray | None = None
+    observe: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.device or self.values is None or not self.observe:
+            raise ValueError(
+                f"DC sweep {self.name!r} needs device, values and observe")
+
+
+@dataclass(frozen=True)
+class TempSweepSpec(AnalysisSpec):
+    """Operating-point sweep across temperature, recording one node."""
+
+    temperatures: np.ndarray | None = None
+    observe: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.temperatures is None or not self.observe:
+            raise ValueError(
+                f"temperature sweep {self.name!r} needs temperatures and observe")
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a DC or temperature sweep.
+
+    ``points`` carries the per-value operating points for temperature sweeps
+    (the bandgap testbench reads branch currents from the mid-sweep point);
+    DC sweeps record voltages only.
+    """
+
+    values: np.ndarray
+    observed: np.ndarray
+    points: list[OperatingPoint] = field(default_factory=list)

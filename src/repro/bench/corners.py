@@ -1,0 +1,236 @@
+"""PVT corners: declarative process/voltage/temperature variants of a bench.
+
+A :class:`CornerSpec` names one (process, temperature, supply) condition; the
+process letters scale the :class:`~repro.pdk.Technology` device models (see
+:func:`apply_corner`), the supply scales ``vdd`` and the temperature retargets
+every analysis of the testbench.  :class:`CornerSweep` fans per-corner
+simulations through the same pluggable execution backends the batched
+:class:`~repro.engine.EvaluationEngine` uses, so a five-corner evaluation of
+one design overlaps on thread/process backends exactly like a five-design
+batch would.
+
+:func:`worst_case_metrics` folds per-corner metric dictionaries into the one
+robust-sizing view: each constrained metric takes its worst value across
+corners w.r.t. the constraint sense, and the objective takes its worst value
+w.r.t. the optimisation direction -- a design is only as good as its worst
+corner.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.bo.problem import Constraint
+from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.pdk import Technology
+
+#: Per-letter process factors: (kp scale, vth shift in volts).  "s" (slow)
+#: silicon has lower mobility and a higher threshold magnitude; "f" (fast)
+#: the opposite.  The spread is in the range foundries quote for 3-sigma
+#: global corners on mature nodes.
+_PROCESS_FACTORS = {
+    "t": (1.00, 0.00),
+    "s": (0.85, +0.03),
+    "f": (1.15, -0.03),
+}
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """One PVT condition.
+
+    Attributes
+    ----------
+    name:
+        Corner label used in reports and cache tokens.
+    process:
+        Two process letters, NMOS then PMOS: ``"tt"``, ``"ss"``, ``"ff"``,
+        ``"sf"`` or ``"fs"``.
+    temperature:
+        Analysis temperature in Celsius.
+    vdd_scale:
+        Multiplier on the technology's nominal supply.
+    """
+
+    name: str
+    process: str = "tt"
+    temperature: float = 27.0
+    vdd_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.process) != 2 or any(c not in _PROCESS_FACTORS
+                                         for c in self.process):
+            raise ValueError(
+                f"process must be two of {sorted(_PROCESS_FACTORS)} "
+                f"(e.g. 'tt', 'ss', 'sf'), got {self.process!r}")
+        if self.vdd_scale <= 0.0:
+            raise ValueError(f"vdd_scale must be positive, got {self.vdd_scale}")
+
+    @property
+    def is_nominal(self) -> bool:
+        return (self.process == "tt" and self.temperature == 27.0
+                and self.vdd_scale == 1.0)
+
+    def describe(self) -> str:
+        return (f"{self.name}({self.process}, {self.temperature:g}C, "
+                f"{self.vdd_scale:g}*vdd)")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CornerSpec":
+        """Build from plain data (what StudySpec ``problem_options`` carries)."""
+        return cls(**data)
+
+
+def nominal_corner() -> CornerSpec:
+    return CornerSpec("nominal")
+
+
+def standard_corners() -> tuple[CornerSpec, ...]:
+    """The five-corner PVT set used by the ``*_corners`` sizing problems.
+
+    Nominal plus the four worst-case combinations of silicon speed,
+    automotive temperature extremes and a +-10% supply: slow silicon is
+    paired with a low supply (weakest drive) and fast silicon with a high
+    one (worst leakage/stability), at both temperature extremes.
+    """
+    return (
+        nominal_corner(),
+        CornerSpec("ss_cold_low", "ss", -40.0, 0.9),
+        CornerSpec("ss_hot_low", "ss", 125.0, 0.9),
+        CornerSpec("ff_cold_high", "ff", -40.0, 1.1),
+        CornerSpec("ff_hot_high", "ff", 125.0, 1.1),
+    )
+
+
+def apply_corner(technology: Technology, corner: CornerSpec) -> Technology:
+    """Derive the corner's technology card from the nominal one."""
+    nmos_kp, nmos_vth = _PROCESS_FACTORS[corner.process[0]]
+    pmos_kp, pmos_vth = _PROCESS_FACTORS[corner.process[1]]
+    return technology.with_corner(
+        nmos_kp_scale=nmos_kp, nmos_vth_shift=nmos_vth,
+        pmos_kp_scale=pmos_kp, pmos_vth_shift=pmos_vth,
+        vdd_scale=corner.vdd_scale, corner=corner.process)
+
+
+# --------------------------------------------------------------------- #
+# worst-case aggregation                                                 #
+# --------------------------------------------------------------------- #
+def worst_case_metrics(per_corner: list[dict[str, float]],
+                       objective: str, minimize: bool,
+                       constraints: list[Constraint]) -> dict[str, float]:
+    """Fold per-corner metrics into one worst-case metric dictionary.
+
+    Constrained metrics aggregate against their sense (``ge`` -> min across
+    corners, ``le`` -> max), the objective against its direction; every other
+    metric passes through from the first (nominal) corner.  The result also
+    reports ``<objective>_nominal`` so studies can see the robustness cost.
+    """
+    if not per_corner:
+        raise ValueError("worst_case_metrics needs at least one corner result")
+    senses = {c.name: c.sense for c in constraints}
+    metrics = dict(per_corner[0])
+    for name in per_corner[0]:
+        values = [corner[name] for corner in per_corner if name in corner]
+        if name in senses:
+            metrics[name] = min(values) if senses[name] == "ge" else max(values)
+        elif name == objective:
+            metrics[name] = max(values) if minimize else min(values)
+    metrics[f"{objective}_nominal"] = float(per_corner[0][objective])
+    return metrics
+
+
+# --------------------------------------------------------------------- #
+# backend fan-out                                                        #
+# --------------------------------------------------------------------- #
+@dataclass
+class CornerFailure:
+    """Picklable marker for a corner simulation that raised."""
+
+    corner: str
+    message: str
+
+
+def _simulate_corner_task(task):
+    """Worker entry point: one ``(corner name, problem, design)`` simulation.
+
+    Top-level and total like :func:`repro.engine.evaluate_design_task`: a
+    raising simulation comes back as a :class:`CornerFailure` instead of
+    poisoning the surrounding backend ``map``.
+    """
+    corner_name, problem, design = task
+    try:
+        return problem.simulate(design)
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        return CornerFailure(corner_name, f"{type(exc).__name__}: {exc}")
+
+
+class CornerSweep:
+    """Fan one design across per-corner problem variants through a backend.
+
+    Parameters
+    ----------
+    corners:
+        The :class:`CornerSpec` conditions, nominal first by convention.
+    backend:
+        Backend name (``"serial"``/``"thread"``/``"process"``), instance or
+        ``None`` for the environment default -- the same resolution rules as
+        :class:`~repro.engine.EvaluationEngine`.  Inside an engine worker the
+        default resolves to serial, so corner fan-out composes with design
+        fan-out without spawning pools of pools.
+    max_workers:
+        Worker count for pooled backends created from a name.
+    """
+
+    def __init__(self, corners: tuple[CornerSpec, ...] | list[CornerSpec],
+                 backend: str | ExecutionBackend | None = None,
+                 max_workers: int | None = None):
+        self.corners = tuple(corners)
+        if not self.corners:
+            raise ValueError("CornerSweep needs at least one corner")
+        names = [corner.name for corner in self.corners]
+        if len(set(names)) != len(names):
+            raise ValueError(f"corner names must be unique, got {names}")
+        self._backend_spec = backend
+        self._max_workers = max_workers
+        self._backend: ExecutionBackend | None = None
+        self._backend_lock = threading.Lock()
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        # Corner sweeps run inside engine thread fan-out, so the lazy
+        # resolution must be raced-safe: without the lock two threads could
+        # each build a pooled backend and the loser's pool would leak.
+        if self._backend is None:
+            with self._backend_lock:
+                if self._backend is None:
+                    self._backend = resolve_backend(
+                        self._backend_spec, max_workers=self._max_workers)
+        return self._backend
+
+    def run(self, problems, design: dict[str, float]
+            ) -> list[dict[str, float] | CornerFailure]:
+        """Simulate ``design`` on each per-corner problem, in corner order."""
+        if len(problems) != len(self.corners):
+            raise ValueError(f"expected {len(self.corners)} per-corner "
+                             f"problems, got {len(problems)}")
+        tasks = [(corner.name, problem, design)
+                 for corner, problem in zip(self.corners, problems)]
+        return list(self.backend.map(_simulate_corner_task, tasks))
+
+    def close(self) -> None:
+        if self._backend is not None:
+            self._backend.shutdown()
+            self._backend = None
+
+    def __getstate__(self) -> dict:
+        # Live pools cannot cross process boundaries; workers rebuild lazily
+        # (and resolve the default backend to serial in worker context).
+        state = self.__dict__.copy()
+        state["_backend"] = None
+        state.pop("_backend_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._backend_lock = threading.Lock()

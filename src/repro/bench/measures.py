@@ -1,0 +1,183 @@
+"""Declarative measurements extracted from analysis results.
+
+A :class:`Measure` binds one named metric to one analysis of a testbench: a
+callable receives the :class:`MeasureContext` (every analysis result, the
+built circuits and the design point) and returns a float.  The factories
+below cover the standard analog figures of merit -- gains, bandwidth, phase
+margin, PSRR, supply current, slew, settling, overshoot, temperature
+coefficient -- and any bench can add bespoke measures as plain callables
+(bound methods of a problem pickle fine).
+
+Units follow the repo's reporting conventions: currents in uA, GBW in MHz,
+slew in V/us, settling in us, TC in ppm/degC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+class MeasurementError(ReproError):
+    """Raised by a measure to declare the design dead (pessimised metrics)."""
+
+
+@dataclass
+class MeasureContext:
+    """Everything a measurement can see: results, circuits, design point."""
+
+    design: dict[str, float]
+    circuits: dict[str, object]
+    results: dict[str, object]
+
+    def result(self, analysis: str):
+        if analysis not in self.results:
+            raise MeasurementError(
+                f"measure references unknown analysis {analysis!r}; "
+                f"available: {sorted(self.results)}")
+        return self.results[analysis]
+
+    def circuit(self, key: str = "main"):
+        if key not in self.circuits:
+            raise MeasurementError(
+                f"measure references unbuilt circuit {key!r}; "
+                f"available: {sorted(self.circuits)}")
+        return self.circuits[key]
+
+
+@dataclass(frozen=True)
+class Measure:
+    """One named metric extracted from a simulated testbench.
+
+    Attributes
+    ----------
+    name:
+        Metric key in the returned metrics dictionary.
+    fn:
+        ``(MeasureContext) -> float``.
+    require_finite:
+        When set, a non-finite value marks the whole simulation as failed
+        (the testbench returns the problem's pessimised metrics) -- used for
+        gate metrics like DC gain whose non-finiteness means a dead circuit.
+    """
+
+    name: str
+    fn: Callable[[MeasureContext], float] = field(repr=False, default=None)
+    require_finite: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("measure needs a non-empty name")
+        if self.fn is None:
+            raise ValueError(f"measure {self.name!r} needs a callable")
+
+
+# --------------------------------------------------------------------- #
+# AC measures                                                            #
+# --------------------------------------------------------------------- #
+def gain_db(analysis: str = "ac", node: str = "out", name: str = "gain",
+            require_finite: bool = True) -> Measure:
+    """Low-frequency gain in dB (finite-gated by default: NaN = dead design)."""
+    return Measure(name, lambda ctx: float(ctx.result(analysis).dc_gain_db(node)),
+                   require_finite=require_finite)
+
+
+def gbw_mhz(analysis: str = "ac", node: str = "out", name: str = "gbw") -> Measure:
+    """Unity-gain frequency in MHz (0 when the response never crosses 0 dB)."""
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).unity_gain_frequency(node) / 1e6))
+
+
+def phase_margin_deg(analysis: str = "ac", node: str = "out",
+                     name: str = "pm") -> Measure:
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).phase_margin_degrees(node)))
+
+
+def gain_at_db(frequency: float, analysis: str = "ac", node: str = "out",
+               name: str = "gain_at") -> Measure:
+    """Interpolated magnitude (dB) at one frequency."""
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).gain_at(node, frequency)))
+
+
+def psrr_db(frequency: float = 100.0, analysis: str = "ac", node: str = "out",
+            name: str = "psrr") -> Measure:
+    """Power-supply rejection: minus the supply-to-node gain at ``frequency``."""
+    return Measure(name, lambda ctx: float(
+        -ctx.result(analysis).gain_at(node, frequency)))
+
+
+def bandwidth_3db_mhz(analysis: str = "ac", node: str = "out",
+                      name: str = "bw") -> Measure:
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).bandwidth_3db(node) / 1e6))
+
+
+# --------------------------------------------------------------------- #
+# operating-point measures                                               #
+# --------------------------------------------------------------------- #
+def supply_current_ua(analysis: str = "op", source: str = "VDD",
+                      circuit: str = "main", name: str = "i_total") -> Measure:
+    """Magnitude of a source's branch current at the bias point, in uA."""
+    def fn(ctx: MeasureContext) -> float:
+        op = ctx.result(analysis)
+        return float(abs(ctx.circuit(circuit).device(source)
+                         .branch_current(op.voltages)) * 1e6)
+    return Measure(name, fn)
+
+
+def node_dc(node: str, analysis: str = "op", name: str | None = None) -> Measure:
+    """DC voltage of one node at the bias point."""
+    return Measure(name or f"v_{node}",
+                   lambda ctx: float(ctx.result(analysis).voltage(node)))
+
+
+# --------------------------------------------------------------------- #
+# transient measures                                                     #
+# --------------------------------------------------------------------- #
+def slew_v_per_us(analysis: str = "tran", node: str = "out",
+                  t_start: float = 0.0, name: str = "slew") -> Measure:
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).slew_rate(node, t_start=t_start) * 1e-6))
+
+
+def overshoot_pct(analysis: str = "tran", node: str = "out",
+                  t_start: float = 0.0, name: str = "overshoot") -> Measure:
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).overshoot_percent(node, t_start=t_start)))
+
+
+def settling_time_us(analysis: str = "tran", node: str = "out",
+                     tolerance: float = 0.01, t_start: float = 0.0,
+                     cap: float | None = None,
+                     name: str = "t_settle") -> Measure:
+    """Settling time in us; a never-settling response reports ``cap`` seconds.
+
+    ``cap`` (typically ``t_stop - t_start``) keeps the metric finite so
+    surrogates stay trainable on designs that never enter the band.
+    """
+    import numpy as np
+
+    def fn(ctx: MeasureContext) -> float:
+        settle = ctx.result(analysis).settling_time(node, tolerance=tolerance,
+                                                    t_start=t_start)
+        if not np.isfinite(settle) and cap is not None:
+            settle = cap
+        return float(settle * 1e6)
+    return Measure(name, fn)
+
+
+# --------------------------------------------------------------------- #
+# sweep measures                                                         #
+# --------------------------------------------------------------------- #
+def tc_ppm(analysis: str = "tsweep", name: str = "tc") -> Measure:
+    """Box-method temperature coefficient of a temperature-sweep observation."""
+    from repro.spice.sweep import temperature_coefficient_ppm
+
+    def fn(ctx: MeasureContext) -> float:
+        sweep = ctx.result(analysis)
+        return float(temperature_coefficient_ppm(sweep.values, sweep.observed))
+    return Measure(name, fn)

@@ -216,6 +216,15 @@ class OptimizationProblem:
         """
         return self.engine.evaluate_batch(x)
 
+    def close(self) -> None:
+        """Release any auxiliary resources the problem owns (idempotent).
+
+        The base problem owns none -- the attached engine is closed by its
+        own ``close`` -- but wrappers that hold worker pools of their own
+        (e.g. a PVT corner sweep's fan-out backend) override this, and
+        drivers like :class:`repro.study.Study` call it after a run.
+        """
+
     def metrics_matrix(self, evaluations: list[EvaluatedDesign]) -> np.ndarray:
         """Stack evaluations into an ``(n, n_metrics)`` matrix (metric order)."""
         return np.array([[e.metrics[name] for name in self.metric_names]

@@ -11,6 +11,13 @@ the result as a constrained :class:`repro.bo.OptimizationProblem`:
 * :class:`ThreeStageOpAmp` -- Eq. 16: same metrics, higher gain target.
 * :class:`BandgapReference` -- Eq. 17: minimise TC s.t. ``I_total``, PSRR.
 
+Each testbench is *declarative*: the problem's ``testbench()`` method builds
+a :class:`repro.bench.Testbench` (circuits, analyses, checks, measures) and
+``simulate()`` executes it with operating-point reuse.  The ``*_corners``
+variants (:mod:`repro.circuits.corners`) evaluate the same benches across a
+PVT corner set and report worst-case metrics -- robust sizing for every
+optimizer with zero optimizer changes.
+
 :class:`FOMProblem` wraps any of them into the unconstrained
 figure-of-merit objective of Eq. 2 for the Fig. 4 experiments.
 """
@@ -19,8 +26,18 @@ from repro.circuits.base import CircuitSizingProblem, simulate_design
 from repro.circuits.two_stage_opamp import TwoStageOpAmp, TwoStageOpAmpSettling
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.bandgap import BandgapReference
+from repro.circuits.corners import (
+    BandgapReferenceCorners,
+    CornerSizingProblem,
+    ThreeStageOpAmpCorners,
+    TwoStageOpAmpCorners,
+)
 from repro.circuits.fom import FOMProblem
-from repro.circuits.registry import available_problems, make_problem
+from repro.circuits.registry import (
+    available_problems,
+    make_problem,
+    register_problem,
+)
 
 __all__ = [
     "CircuitSizingProblem",
@@ -28,8 +45,13 @@ __all__ = [
     "TwoStageOpAmpSettling",
     "ThreeStageOpAmp",
     "BandgapReference",
+    "CornerSizingProblem",
+    "TwoStageOpAmpCorners",
+    "ThreeStageOpAmpCorners",
+    "BandgapReferenceCorners",
     "FOMProblem",
     "make_problem",
     "available_problems",
+    "register_problem",
     "simulate_design",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import bench
 from repro.bo.design_space import DesignSpace, DesignVariable
 from repro.bo.problem import Constraint
 from repro.circuits.base import CircuitSizingProblem
@@ -134,10 +135,65 @@ class BandgapReference(CircuitSizingProblem):
     # ------------------------------------------------------------------ #
     # evaluation                                                          #
     # ------------------------------------------------------------------ #
-    def simulate(self, design: dict[str, float]) -> dict[str, float]:
+    #: Temperature grid of the TC sweep (the "room" point is the middle one).
+    SWEEP_TEMPERATURES = (-20.0, 100.0, 7)
+
+    def _sweep_grid(self) -> np.ndarray:
+        lo, hi, count = self.SWEEP_TEMPERATURES
+        return np.linspace(lo, hi, count)
+
+    def _build_psrr_circuit(self, design: dict[str, float]) -> Circuit:
+        # One netlist serves every analysis: the unit supply AC drive only
+        # affects the small-signal system, so the temperature sweep and the
+        # bias are bit-identical to a quiet-supply build.
+        return self.build_circuit(design, supply_ac=1.0)
+
+    def _room_point(self, ctx: "bench.MeasureContext"):
+        points = ctx.result("tsweep").points
+        return points[len(points) // 2]
+
+    def _reference_alive(self, ctx: "bench.MeasureContext") -> bool:
+        # A collapsed loop parks the reference at ground -- treat as failure.
+        return abs(self._room_point(ctx).voltage("vref")) >= 0.05
+
+    def _measure_i_total(self, ctx: "bench.MeasureContext") -> float:
+        # Supply current at room temperature: the three mirror branches plus
+        # the error-amplifier bias.
+        room = self._room_point(ctx)
+        i_branches = sum(abs(room.device_info[name].get("ids", 0.0))
+                         for name in ("MPA", "MPB", "MPC"))
+        return float((i_branches + ctx.design["i_amp"]) * 1e6)
+
+    def _measure_vref(self, ctx: "bench.MeasureContext") -> float:
+        return float(self._room_point(ctx).voltage("vref"))
+
+    def testbench(self) -> "bench.Testbench":
+        """TC sweep, bias and supply-gain AC on one shared netlist."""
+        return bench.Testbench(
+            name=self.name,
+            builders={"main": self._build_psrr_circuit},
+            analyses=[
+                bench.TempSweepSpec("tsweep", temperatures=self._sweep_grid(),
+                                    observe="vref"),
+                bench.OPSpec("op"),
+                bench.ACSpec("ac", frequencies=np.array([10.0, 100.0, 1000.0]),
+                             observe=("vref",), op="op"),
+            ],
+            checks=[bench.Check("reference did not collapse to ground",
+                                self._reference_alive)],
+            measures=[
+                bench.tc_ppm("tsweep", name="tc"),
+                bench.Measure("i_total", self._measure_i_total),
+                bench.psrr_db(100.0, analysis="ac", node="vref", name="psrr"),
+                bench.Measure("vref", self._measure_vref),
+            ],
+            temperature=self.sim_temperature)
+
+    def _legacy_simulate(self, design: dict[str, float]) -> dict[str, float]:
+        """Pre-testbench imperative path, kept as the equivalence reference."""
         circuit = self.build_circuit(design)
         # Temperature sweep for the reference voltage and its coefficient.
-        temperatures = np.linspace(-20.0, 100.0, 7)
+        temperatures = self._sweep_grid()
         try:
             _, vref_curve, points = temperature_sweep(circuit, temperatures, "vref")
         except (np.linalg.LinAlgError, KeyError, ValueError):
@@ -146,12 +202,9 @@ class BandgapReference(CircuitSizingProblem):
             return self.failed_metrics()
         room = points[len(points) // 2]
         if abs(room.voltage("vref")) < 0.05:
-            # The loop collapsed (reference at ground) -- treat as failure.
             return self.failed_metrics()
         tc = temperature_coefficient_ppm(temperatures, vref_curve)
 
-        # Supply current at room temperature: the three mirror branches plus
-        # the error-amplifier bias.
         i_branches = sum(abs(room.device_info[name].get("ids", 0.0))
                          for name in ("MPA", "MPB", "MPC"))
         i_total = (i_branches + design["i_amp"]) * 1e6

@@ -31,42 +31,91 @@ def simulate_design(problem: "CircuitSizingProblem",
 class CircuitSizingProblem(OptimizationProblem):
     """Base class for testbench-backed sizing problems.
 
-    Subclasses build the netlist and extract metrics in :meth:`simulate`;
-    this class handles the technology card, the analysis frequency grid and
-    the "failed simulation" metric values (a design whose DC analysis does
-    not converge, or whose amplifier is effectively dead, must still return
-    a full metric dictionary -- with values that violate the constraints --
-    see :meth:`repro.bo.problem.OptimizationProblem.failed_metrics` -- so
-    the optimizers can learn from it).
+    Subclasses declare their simulation setup in :meth:`testbench` -- circuit
+    builders, analyses, checks and measures (see :mod:`repro.bench`) -- and
+    :meth:`simulate` executes it through a
+    :class:`~repro.bench.Simulator` session with operating-point reuse.
+    This class handles the technology card, the analysis temperature, the
+    analysis frequency grid and the "failed simulation" metric values (a
+    design whose DC analysis does not converge, or whose amplifier is
+    effectively dead, must still return a full metric dictionary -- with
+    values that violate the constraints -- see
+    :meth:`repro.bo.problem.OptimizationProblem.failed_metrics` -- so the
+    optimizers can learn from it).
 
-    :meth:`simulate` is **pure and picklable**: it builds a fresh netlist
-    per call and touches no shared state, which is what lets the evaluation
+    :meth:`simulate` is **pure and picklable**: it builds fresh netlists per
+    call and touches no shared state, which is what lets the evaluation
     engine dispatch designs to worker processes (see :func:`simulate_design`).
+
+    ``temperature`` is the default analysis temperature (Celsius) for every
+    analysis that does not pin its own -- PVT corner variants retarget a
+    whole problem to a corner temperature through it.
     """
 
     def __init__(self, name: str, technology: str | Technology,
                  design_space: DesignSpace, objective: str, minimize: bool,
-                 constraints: list[Constraint]):
+                 constraints: list[Constraint], temperature: float = 27.0):
         if isinstance(technology, str):
             technology = get_technology(technology)
         self.technology = technology
+        self.sim_temperature = float(temperature)
         super().__init__(name=f"{name}_{technology.name}", design_space=design_space,
                          objective=objective, minimize=minimize, constraints=constraints)
 
     @property
     def cache_token(self) -> str:
-        """Name (which embeds the technology) plus a digest of scalar config.
+        """Name plus a digest of scalar config and the technology card.
 
         Constructor options that change the testbench without changing the
-        name -- e.g. ``load_capacitance`` -- must be part of the design-cache
-        identity, or a shared cache could serve one configuration's metrics
-        to another.  Hashing every scalar attribute covers present and
-        future options without per-subclass bookkeeping.
+        name -- e.g. ``load_capacitance`` or the analysis temperature -- must
+        be part of the design-cache identity, or a shared cache could serve
+        one configuration's metrics to another.  Hashing every scalar
+        attribute covers present and future options without per-subclass
+        bookkeeping; the technology fingerprint distinguishes same-named
+        nodes with different silicon (PVT corner cards).
         """
         scalars = sorted((key, value) for key, value in self.__dict__.items()
                          if isinstance(value, (bool, int, float, str)))
-        digest = hashlib.sha1(repr(scalars).encode()).hexdigest()[:16]
+        digest = hashlib.sha1(
+            repr((scalars, self.technology.fingerprint)).encode()
+        ).hexdigest()[:16]
         return f"{self.name}:{digest}"
+
+    # ------------------------------------------------------------------ #
+    # declarative testbench                                               #
+    # ------------------------------------------------------------------ #
+    def testbench(self):
+        """Build this problem's declarative :class:`repro.bench.Testbench`.
+
+        Subclasses construct the bench from their circuit builders and the
+        measure/analysis vocabulary in :mod:`repro.bench`.  Called for every
+        simulation (see :attr:`bench`), so it must be cheap and side-effect
+        free: pure data assembly over ``self``'s configuration, with builders
+        that are pure functions of the design point.
+        """
+        raise NotImplementedError
+
+    @property
+    def bench(self):
+        """A freshly built testbench reflecting the *current* configuration.
+
+        Deliberately not cached: the bench bakes in scalar configuration
+        (temperature, frequency grids, transient windows) at construction,
+        and a cached copy would go stale if an attribute is mutated after
+        the first simulation -- while :attr:`cache_token` follows the new
+        configuration, silently caching old-configuration metrics under the
+        new identity.  Construction is dataclasses and closures, noise next
+        to one Newton solve.
+        """
+        return self.testbench()
+
+    def simulate(self, design: dict[str, float]) -> dict[str, float]:
+        """Run the declarative testbench for one named design point."""
+        from repro.bench import Simulator
+        result = Simulator().run(self.bench, design)
+        if not result.ok:
+            return self.failed_metrics()
+        return result.metrics
 
     # ------------------------------------------------------------------ #
     # analysis helpers                                                    #

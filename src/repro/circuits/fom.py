@@ -103,6 +103,10 @@ class FOMProblem(OptimizationProblem):
         metrics = self.base.simulate(design)
         return {**metrics, "fom": self.fom_from_metrics(metrics)}
 
+    def close(self) -> None:
+        """Release resources the wrapped problem owns (corner-sweep pools)."""
+        self.base.close()
+
     @property
     def cache_token(self) -> str:
         """Name plus a digest of the normalisation ranges and base identity.

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from repro.circuits.bandgap import BandgapReference
 from repro.circuits.base import CircuitSizingProblem
+from repro.circuits.corners import (
+    BandgapReferenceCorners,
+    ThreeStageOpAmpCorners,
+    TwoStageOpAmpCorners,
+)
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.two_stage_opamp import TwoStageOpAmp, TwoStageOpAmpSettling
 from repro.utils.validation import suggestion_hint
@@ -65,3 +70,7 @@ register_problem("two_stage_opamp")(TwoStageOpAmp)
 register_problem("two_stage_opamp_settling")(TwoStageOpAmpSettling)
 register_problem("three_stage_opamp")(ThreeStageOpAmp)
 register_problem("bandgap")(BandgapReference)
+# Robust-sizing variants: the same circuits judged by their worst PVT corner.
+register_problem("two_stage_opamp_corners")(TwoStageOpAmpCorners)
+register_problem("three_stage_opamp_corners")(ThreeStageOpAmpCorners)
+register_problem("bandgap_corners")(BandgapReferenceCorners)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import bench
 from repro.bo.design_space import DesignSpace, DesignVariable
 from repro.bo.problem import Constraint
 from repro.circuits.base import CircuitSizingProblem
@@ -137,10 +138,38 @@ class ThreeStageOpAmp(CircuitSizingProblem):
         circuit.add(Capacitor("CL", "out", "0", self.load_capacitance))
         return circuit
 
+    def _build_feedback_circuit(self, design: dict[str, float]) -> Circuit:
+        return self.build_circuit(design, feedback=True)
+
     # ------------------------------------------------------------------ #
     # evaluation                                                          #
     # ------------------------------------------------------------------ #
-    def simulate(self, design: dict[str, float]) -> dict[str, float]:
+    def testbench(self) -> bench.Testbench:
+        """Two netlist variants, one bias: the DC operating point is solved
+        on the unity-feedback circuit and reused by the open-loop AC analysis
+        (device names match across the variants, so the small-signal stamps
+        linearise around the feedback bias -- the standard op-amp recipe)."""
+        return bench.Testbench(
+            name=self.name,
+            builders={"dc": self._build_feedback_circuit,
+                      "main": self.build_circuit},
+            analyses=[
+                bench.OPSpec("op", circuit="dc"),
+                bench.ACSpec("ac", circuit="main",
+                             frequencies=self.ac_frequencies,
+                             observe=("out",), op="op"),
+            ],
+            measures=[
+                bench.supply_current_ua(analysis="op", source="VDD",
+                                        circuit="dc", name="i_total"),
+                bench.gain_db("ac", "out", name="gain"),
+                bench.phase_margin_deg("ac", "out", name="pm"),
+                bench.gbw_mhz("ac", "out", name="gbw"),
+            ],
+            temperature=self.sim_temperature)
+
+    def _legacy_simulate(self, design: dict[str, float]) -> dict[str, float]:
+        """Pre-testbench imperative path, kept as the equivalence reference."""
         # DC bias point in unity-gain feedback.
         dc_circuit = self.build_circuit(design, feedback=True)
         op = dc_operating_point(dc_circuit)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import bench
 from repro.bo.design_space import DesignSpace, DesignVariable
 from repro.bo.problem import Constraint
 from repro.circuits.base import CircuitSizingProblem
@@ -157,16 +158,39 @@ class TwoStageOpAmp(CircuitSizingProblem):
     # ------------------------------------------------------------------ #
     # evaluation                                                          #
     # ------------------------------------------------------------------ #
-    def simulate(self, design: dict[str, float]) -> dict[str, float]:
+    def testbench(self) -> bench.Testbench:
+        """Open-loop AC bench: one bias solve shared by every measurement.
+
+        If either gain device is far from saturation the amplifier is
+        effectively dead, but it is still measured -- the AC analysis simply
+        reports a tiny gain (and a non-finite gain marks the design failed
+        through the measure's finite gate).
+        """
+        return bench.Testbench(
+            name=self.name,
+            builders={"main": self.build_circuit},
+            analyses=[
+                bench.OPSpec("op"),
+                bench.ACSpec("ac", frequencies=self.ac_frequencies,
+                             observe=("out",), op="op"),
+            ],
+            measures=[
+                bench.supply_current_ua(analysis="op", source="VDD",
+                                        circuit="main", name="i_total"),
+                bench.gain_db("ac", "out", name="gain"),
+                bench.phase_margin_deg("ac", "out", name="pm"),
+                bench.gbw_mhz("ac", "out", name="gbw"),
+            ],
+            temperature=self.sim_temperature)
+
+    def _legacy_simulate(self, design: dict[str, float]) -> dict[str, float]:
+        """Pre-testbench imperative path, kept as the equivalence reference."""
         circuit = self.build_circuit(design)
         op = dc_operating_point(circuit)
         if not op.converged:
             return self.failed_metrics()
         # Total supply current measured at the VDD source branch.
         i_total = abs(circuit.device("VDD").branch_current(op.voltages))
-        # Sanity check the bias: if either gain device is far from saturation
-        # the amplifier is effectively dead, but we still measure it -- the AC
-        # analysis will simply report a tiny gain.
         ac = ac_analysis(circuit, op, self.ac_frequencies, observe=["out"])
         gain_db = ac.dc_gain_db("out")
         gbw_hz = ac.unity_gain_frequency("out")
@@ -241,7 +265,53 @@ class TwoStageOpAmpSettling(TwoStageOpAmp):
                             delay=self.step_delay,
                             rise_time=self.step_rise_time)
 
-    def simulate(self, design: dict[str, float]) -> dict[str, float]:
+    def _build_follower(self, design: dict[str, float]) -> Circuit:
+        return self.build_follower_circuit(design, self.step_waveform())
+
+    def _follower_tracks(self, ctx: "bench.MeasureContext") -> bool:
+        # A follower whose output does not track at least half the input step
+        # is dead; "settling" instantly onto a stuck output must not score.
+        result = ctx.result("tran")
+        initial = result.value_at("out", self.step_delay)
+        final = result.final_value("out")
+        return abs(final - initial) >= 0.5 * self.step_amplitude
+
+    def _measure_settle(self, ctx: "bench.MeasureContext") -> float:
+        settle = ctx.result("tran").settling_time(
+            "out", tolerance=self.settle_tolerance, t_start=self.step_delay)
+        if not np.isfinite(settle):
+            # Never entered the band: report the whole window as the (worst
+            # finite) settling time so surrogates stay trainable.
+            settle = self.t_stop - self.step_delay
+        return float(settle * 1e6)
+
+    def testbench(self) -> "bench.Testbench":
+        """Unity-follower step bench: transient bias shared with the supply
+        current measure, step response judged by time-domain measures."""
+        t_edge = self.step_delay
+        return bench.Testbench(
+            name=self.name,
+            builders={"main": self._build_follower},
+            analyses=[
+                bench.OPSpec("op", transient=True),
+                bench.TranSpec("tran", t_stop=self.t_stop, observe=("out",),
+                               reltol=self.transient_reltol,
+                               abstol=self.transient_abstol, op="op"),
+            ],
+            checks=[bench.Check("follower output tracks the input step",
+                                self._follower_tracks)],
+            measures=[
+                bench.Measure("t_settle", self._measure_settle),
+                bench.slew_v_per_us("tran", "out", t_start=t_edge, name="slew"),
+                bench.overshoot_pct("tran", "out", t_start=t_edge,
+                                    name="overshoot"),
+                bench.supply_current_ua(analysis="op", source="VDD",
+                                        circuit="main", name="i_total"),
+            ],
+            temperature=self.sim_temperature)
+
+    def _legacy_simulate(self, design: dict[str, float]) -> dict[str, float]:
+        """Pre-testbench imperative path, kept as the equivalence reference."""
         circuit = self.build_follower_circuit(design, self.step_waveform())
         op = transient_operating_point(circuit)
         if not op.converged:
@@ -256,15 +326,11 @@ class TwoStageOpAmpSettling(TwoStageOpAmp):
         t_edge = self.step_delay
         initial = result.value_at("out", t_edge)
         final = result.final_value("out")
-        # A follower whose output does not track at least half the input step
-        # is dead; "settling" instantly onto a stuck output must not score.
         if abs(final - initial) < 0.5 * self.step_amplitude:
             return self.failed_metrics()
         settle = result.settling_time("out", tolerance=self.settle_tolerance,
                                       t_start=t_edge)
         if not np.isfinite(settle):
-            # Never entered the band: report the whole window as the (worst
-            # finite) settling time so surrogates stay trainable.
             settle = self.t_stop - t_edge
         return {
             "t_settle": float(settle * 1e6),

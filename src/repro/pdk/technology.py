@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import astuple, dataclass, replace
 
 from repro.spice.devices.mosfet import MosfetModel
 
@@ -23,6 +24,11 @@ class Technology:
         Allowed transistor channel lengths (m).
     min_width / max_width:
         Allowed transistor widths (m).
+    corner:
+        Process-corner label (``"tt"`` for the nominal card).  Derived corner
+        cards (see :meth:`with_corner`) keep ``name`` unchanged -- design
+        spaces and gain targets are keyed on the node name -- and record the
+        corner here, so :attr:`fingerprint` still tells the cards apart.
     """
 
     name: str
@@ -33,6 +39,7 @@ class Technology:
     max_length: float
     min_width: float
     max_width: float
+    corner: str = "tt"
 
     @property
     def common_mode(self) -> float:
@@ -44,6 +51,41 @@ class Technology:
 
     def clamp_width(self, width: float) -> float:
         return min(max(width, self.min_width), self.max_width)
+
+    # ------------------------------------------------------------------ #
+    # process corners                                                      #
+    # ------------------------------------------------------------------ #
+    def with_corner(self, *, nmos_kp_scale: float = 1.0,
+                    nmos_vth_shift: float = 0.0,
+                    pmos_kp_scale: float = 1.0,
+                    pmos_vth_shift: float = 0.0,
+                    vdd_scale: float = 1.0,
+                    corner: str = "tt") -> "Technology":
+        """A derived card with scaled device models and supply.
+
+        ``kp`` scales multiplicatively (slow silicon has lower mobility) and
+        ``vth0`` shifts additively in its magnitude convention (slow silicon
+        has a higher threshold for both polarities).  Geometry limits -- and
+        therefore the design space -- are unchanged, so nominal and corner
+        cards size the same variables.
+        """
+        nmos = replace(self.nmos, kp=self.nmos.kp * nmos_kp_scale,
+                       vth0=self.nmos.vth0 + nmos_vth_shift)
+        pmos = replace(self.pmos, kp=self.pmos.kp * pmos_kp_scale,
+                       vth0=self.pmos.vth0 + pmos_vth_shift)
+        return replace(self, vdd=self.vdd * vdd_scale, nmos=nmos, pmos=pmos,
+                       corner=corner)
+
+    @property
+    def fingerprint(self) -> str:
+        """Digest of every card parameter (device models included).
+
+        Two cards with the same ``name`` but different silicon -- e.g. the
+        nominal node and an ``ss`` corner derived from it -- must never share
+        design-cache entries; the circuit problems fold this digest into
+        their cache tokens.
+        """
+        return hashlib.sha1(repr(astuple(self)).encode()).hexdigest()[:16]
 
     def describe(self) -> dict[str, float | str]:
         return {

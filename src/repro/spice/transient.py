@@ -22,6 +22,7 @@ rate, settling time and overshoot of a step response.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -234,7 +235,7 @@ def transient_operating_point(circuit: Circuit, temperature: float = 27.0,
 
 def transient_analysis(circuit: Circuit, t_stop: float,
                        observe: list[str] | None = None,
-                       temperature: float = 27.0,
+                       temperature: float | None = None,
                        dt_initial: float | None = None,
                        dt_min: float | None = None,
                        dt_max: float | None = None,
@@ -253,6 +254,13 @@ def transient_analysis(circuit: Circuit, t_stop: float,
         Analysis window in seconds.
     observe:
         Node names to record; defaults to every non-ground node.
+    temperature:
+        Analysis temperature in Celsius.  Defaults to the supplied
+        ``operating_point``'s temperature (27 when solving the initial
+        condition here).  Passing a value that *disagrees* with a supplied
+        operating point is deprecated -- the companion models would then be
+        evaluated at a different temperature from the bias they linearise
+        around -- and the operating point's temperature wins.
     dt_initial / dt_min / dt_max:
         Startup, floor and ceiling timesteps; default to ``1e-4``, ``1e-12``
         and ``1/50`` of ``t_stop``.
@@ -273,6 +281,18 @@ def transient_analysis(circuit: Circuit, t_stop: float,
     """
     if t_stop <= 0.0:
         raise ValueError(f"t_stop must be positive, got {t_stop}")
+    if temperature is None:
+        temperature = (operating_point.temperature
+                       if operating_point is not None else 27.0)
+    elif (operating_point is not None
+          and float(temperature) != float(operating_point.temperature)):
+        warnings.warn(
+            "passing temperature= alongside operating_point= is deprecated "
+            "when the two disagree; the operating point's temperature "
+            f"({operating_point.temperature:g}C) is used so the companion "
+            "models stay consistent with the bias",
+            DeprecationWarning, stacklevel=2)
+        temperature = float(operating_point.temperature)
     circuit.ensure_indices()
     observed = list(observe) if observe is not None else circuit.nodes
     dt_initial = t_stop * 1e-4 if dt_initial is None else float(dt_initial)

@@ -86,6 +86,7 @@ class StudySpec:
     fom_normalization: dict[str, tuple[float, float]] | None = None
     transfer: TransferSpec | None = None
     optimizer_options: dict[str, Any] = field(default_factory=dict)
+    problem_options: dict[str, Any] = field(default_factory=dict)
     tag: str = ""                                #: free-form label for reports
 
     # ------------------------------------------------------------------ #
@@ -137,10 +138,15 @@ class StudySpec:
         transfer = data.get("transfer")
         if isinstance(transfer, dict):
             data["transfer"] = TransferSpec.from_dict(transfer)
-        options = data.get("optimizer_options")
-        if options is not None and not isinstance(options, dict):
-            raise SpecError("optimizer_options must be a mapping, "
-                            f"got {type(options).__name__}")
+        for key in ("optimizer_options", "problem_options"):
+            if key not in data:
+                continue
+            options = data[key]
+            if options is None:
+                data[key] = {}       # explicit JSON null = "no options"
+            elif not isinstance(options, dict):
+                raise SpecError(f"{key} must be a mapping, "
+                                f"got {type(options).__name__}")
         return cls(**data)
 
     @classmethod
@@ -229,10 +235,17 @@ class StudySpec:
     # builders                                                            #
     # ------------------------------------------------------------------ #
     def build_problem(self):
-        """Instantiate the (possibly FOM-wrapped) problem with its engine."""
+        """Instantiate the (possibly FOM-wrapped) problem with its engine.
+
+        ``problem_options`` is forwarded to the problem constructor -- e.g.
+        ``{"corners": [...], "backend": "thread"}`` for a ``*_corners``
+        problem, or ``{"load_capacitance": 5e-12}`` for an op-amp -- and must
+        stay JSON-plain so checkpointed specs rebuild the identical problem.
+        """
         from repro.circuits import FOMProblem, make_problem
         from repro.engine import EvaluationEngine
-        problem = make_problem(self.circuit, self.technology)
+        problem = make_problem(self.circuit, self.technology,
+                               **self.problem_options)
         if self.fom:
             if self.fom_normalization is not None:
                 problem = FOMProblem(problem, normalization={

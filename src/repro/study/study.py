@@ -262,6 +262,9 @@ class Study:
             if writer is not None:
                 writer.close()
             problem.engine.close()
+            # Problems owning pools of their own (corner sweeps) release
+            # them here; the base implementation is a no-op.
+            problem.close()
 
 
 # ---------------------------------------------------------------------- #

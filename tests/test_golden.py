@@ -97,6 +97,10 @@ class TestACGolden:
     @pytest.mark.parametrize("name", available_problems())
     def test_vectorized_matches_per_frequency(self, name):
         problem = make_problem(name, "180nm")
+        if not hasattr(problem, "build_circuit"):
+            # Corner sweeps own no netlist of their own; their per-corner
+            # children are the base circuits already covered by this sweep.
+            pytest.skip(f"{name} wraps circuits covered by their base entries")
         # The bandgap AC testbench measures PSRR, so excite its supply.
         kwargs = {"supply_ac": 1.0} if name == "bandgap" else {}
         # Use the first design of a fixed-seed batch whose DC converges (not
@@ -133,11 +137,8 @@ class TestDCGolden:
                           saturation_current=saturation_current,
                           emission_coefficient=emission))
 
-        def set_value(value: float) -> None:
-            source.dc = value
-
         values = np.linspace(0.3, 2.0, 18)
-        _, v_diode = dc_sweep(circuit, set_value, values, observe="d")
+        _, v_diode = dc_sweep(circuit, "VIN", "dc", values, observe="d")
         # KCL at the diode node: the resistor current must equal the
         # Shockley current at the solved junction voltage.
         thermal = 1.380649e-23 * 300.15 / 1.602176634e-19
