@@ -21,6 +21,10 @@ The package is organised bottom-up:
 * :mod:`repro.engine` -- the batched evaluation engine: pluggable
   serial/thread/process execution backends, a content-hash design cache and
   failure isolation for every ``evaluate_batch`` in the library.
+* :mod:`repro.mc` -- Monte Carlo mismatch & yield: Pelgrom variation cards
+  on the technology nodes, seeded stream-splittable samplers, and
+  engine-parallel Wilson-interval yield estimation with adaptive stopping
+  behind the ``*_yield`` sizing problems.
 * :mod:`repro.study` -- the unified Study API: the optimizer registry,
   declarative :class:`~repro.study.StudySpec` run specifications, the
   :class:`~repro.study.Study` driver (callbacks, JSONL checkpoint/resume)

@@ -24,6 +24,7 @@ the nominal corner are bit-identical to the legacy imperative paths, which
 the equivalence suite in ``tests/test_bench.py`` enforces.
 """
 
+from repro.bench.aggregate import sense_reduce, sigma_metrics, worst_is_low
 from repro.bench.analyses import (
     ACSpec,
     AnalysisSpec,
@@ -84,6 +85,9 @@ __all__ = [
     "standard_corners",
     "apply_corner",
     "worst_case_metrics",
+    "sigma_metrics",
+    "sense_reduce",
+    "worst_is_low",
     "gain_db",
     "gbw_mhz",
     "phase_margin_deg",

@@ -1,0 +1,109 @@
+"""Sense-aware metric aggregation shared by PVT corners and Monte Carlo.
+
+Both robustness layers reduce *many* metric dictionaries for one design --
+per-corner results, per-mismatch-sample results -- into one dictionary that
+optimizers consume.  The reductions must agree on what "worse" means, so the
+senses live in exactly one place:
+
+* a constrained metric is worse in the direction that violates its
+  constraint (``ge`` -> smaller is worse, ``le`` -> larger is worse);
+* the objective is worse against the optimisation direction;
+* metrics with no declared sense pass through un-reduced (corners) or get
+  direction-free statistics (Monte Carlo).
+
+:func:`worst_case_metrics` is the deterministic fold used by
+:class:`~repro.circuits.corners.CornerSizingProblem` ("a design is only as
+good as its worst corner"); :func:`sigma_metrics` is the statistical fold
+used by the yield problems (``<metric>_mean`` / ``_std`` / ``_p99``, the
+latter a sense-aware 99th-percentile worst case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.problem import Constraint
+
+
+def worst_is_low(name: str, objective: str, minimize: bool,
+                 senses: dict[str, str]) -> bool | None:
+    """Whether smaller values of ``name`` are worse, or ``None`` if senseless.
+
+    The single source of truth for aggregation direction: ``ge`` constraints
+    and maximised objectives degrade downwards, ``le`` constraints and
+    minimised objectives degrade upwards.
+    """
+    if name in senses:
+        return senses[name] == "ge"
+    if name == objective:
+        return not minimize
+    return None
+
+
+def sense_reduce(values, low_is_worse: bool) -> float:
+    """The worst value of one metric across scenarios, given its direction."""
+    return float(min(values) if low_is_worse else max(values))
+
+
+def worst_case_metrics(per_corner: list[dict[str, float]],
+                       objective: str, minimize: bool,
+                       constraints: list[Constraint]) -> dict[str, float]:
+    """Fold per-corner metrics into one worst-case metric dictionary.
+
+    Constrained metrics aggregate against their sense (``ge`` -> min across
+    corners, ``le`` -> max), the objective against its direction; every other
+    metric passes through from the first (nominal) corner.  The result also
+    reports ``<objective>_nominal`` so studies can see the robustness cost.
+    """
+    if not per_corner:
+        raise ValueError("worst_case_metrics needs at least one corner result")
+    senses = {c.name: c.sense for c in constraints}
+    metrics = dict(per_corner[0])
+    for name in per_corner[0]:
+        low = worst_is_low(name, objective, minimize, senses)
+        if low is None:
+            continue
+        metrics[name] = sense_reduce(
+            [corner[name] for corner in per_corner if name in corner], low)
+    metrics[f"{objective}_nominal"] = float(per_corner[0][objective])
+    return metrics
+
+
+def sigma_metrics(per_sample: list[dict[str, float]],
+                  objective: str, minimize: bool,
+                  constraints: list[Constraint]) -> dict[str, float]:
+    """Per-metric statistics across Monte Carlo samples.
+
+    For every metric present in the first sample, reports
+
+    * ``<metric>_mean`` and ``<metric>_std`` (population std, ddof=0), and
+    * ``<metric>_p99`` -- the sense-aware 99%-worst value: the pessimistic
+      bound the metric is *worse than* in only 1% of samples (so 99% of
+      silicon does at least this well), i.e. the 1st percentile for metrics
+      that degrade downwards and the 99th for metrics that degrade upwards.
+      Metrics with no declared sense report the plain 99th percentile.
+
+    Values are computed in sample order with numpy reductions only, so the
+    result is bit-identical however the samples were executed.
+    """
+    if not per_sample:
+        raise ValueError("sigma_metrics needs at least one sample result")
+    senses = {c.name: c.sense for c in constraints}
+    out: dict[str, float] = {}
+    # Key off the union of metric names (first-seen order) rather than the
+    # first sample alone: a crashed first sample carries only the pessimised
+    # constraint metrics, and must not silently drop the sigma statistics of
+    # unconstrained measures (e.g. the bandgap's vref) for the whole design.
+    names: dict[str, None] = {}
+    for sample in per_sample:
+        for name in sample:
+            names.setdefault(name)
+    for name in names:
+        values = np.asarray([sample[name] for sample in per_sample
+                             if name in sample], dtype=float)
+        low = worst_is_low(name, objective, minimize, senses)
+        quantile = 1.0 if low else 99.0
+        out[f"{name}_mean"] = float(np.mean(values))
+        out[f"{name}_std"] = float(np.std(values))
+        out[f"{name}_p99"] = float(np.percentile(values, quantile))
+    return out

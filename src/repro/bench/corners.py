@@ -9,20 +9,22 @@ simulations through the same pluggable execution backends the batched
 one design overlaps on thread/process backends exactly like a five-design
 batch would.
 
-:func:`worst_case_metrics` folds per-corner metric dictionaries into the one
-robust-sizing view: each constrained metric takes its worst value across
-corners w.r.t. the constraint sense, and the objective takes its worst value
-w.r.t. the optimisation direction -- a design is only as good as its worst
-corner.
+:func:`~repro.bench.aggregate.worst_case_metrics` (re-exported here) folds
+per-corner metric dictionaries into the one robust-sizing view: each
+constrained metric takes its worst value across corners w.r.t. the
+constraint sense, and the objective takes its worst value w.r.t. the
+optimisation direction -- a design is only as good as its worst corner.
+The sense-aware reduce itself lives in :mod:`repro.bench.aggregate`, shared
+with the Monte Carlo sigma aggregation so the two robustness layers cannot
+drift apart.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
-from repro.bo.problem import Constraint
-from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.bench.aggregate import worst_case_metrics  # noqa: F401  (re-export)
+from repro.engine.backends import BackendOwner, ExecutionBackend
 from repro.pdk import Technology
 
 #: Per-letter process factors: (kp scale, vth shift in volts).  "s" (slow)
@@ -114,33 +116,6 @@ def apply_corner(technology: Technology, corner: CornerSpec) -> Technology:
 
 
 # --------------------------------------------------------------------- #
-# worst-case aggregation                                                 #
-# --------------------------------------------------------------------- #
-def worst_case_metrics(per_corner: list[dict[str, float]],
-                       objective: str, minimize: bool,
-                       constraints: list[Constraint]) -> dict[str, float]:
-    """Fold per-corner metrics into one worst-case metric dictionary.
-
-    Constrained metrics aggregate against their sense (``ge`` -> min across
-    corners, ``le`` -> max), the objective against its direction; every other
-    metric passes through from the first (nominal) corner.  The result also
-    reports ``<objective>_nominal`` so studies can see the robustness cost.
-    """
-    if not per_corner:
-        raise ValueError("worst_case_metrics needs at least one corner result")
-    senses = {c.name: c.sense for c in constraints}
-    metrics = dict(per_corner[0])
-    for name in per_corner[0]:
-        values = [corner[name] for corner in per_corner if name in corner]
-        if name in senses:
-            metrics[name] = min(values) if senses[name] == "ge" else max(values)
-        elif name == objective:
-            metrics[name] = max(values) if minimize else min(values)
-    metrics[f"{objective}_nominal"] = float(per_corner[0][objective])
-    return metrics
-
-
-# --------------------------------------------------------------------- #
 # backend fan-out                                                        #
 # --------------------------------------------------------------------- #
 @dataclass
@@ -165,8 +140,12 @@ def _simulate_corner_task(task):
         return CornerFailure(corner_name, f"{type(exc).__name__}: {exc}")
 
 
-class CornerSweep:
+class CornerSweep(BackendOwner):
     """Fan one design across per-corner problem variants through a backend.
+
+    Backend lifecycle (lazy race-safe resolution, ``with`` support, loud
+    :class:`ResourceWarning` on a leaked owned pool, pickling that drops the
+    live pool) comes from :class:`~repro.engine.backends.BackendOwner`.
 
     Parameters
     ----------
@@ -185,28 +164,13 @@ class CornerSweep:
     def __init__(self, corners: tuple[CornerSpec, ...] | list[CornerSpec],
                  backend: str | ExecutionBackend | None = None,
                  max_workers: int | None = None):
+        super().__init__(backend, max_workers=max_workers)
         self.corners = tuple(corners)
         if not self.corners:
             raise ValueError("CornerSweep needs at least one corner")
         names = [corner.name for corner in self.corners]
         if len(set(names)) != len(names):
             raise ValueError(f"corner names must be unique, got {names}")
-        self._backend_spec = backend
-        self._max_workers = max_workers
-        self._backend: ExecutionBackend | None = None
-        self._backend_lock = threading.Lock()
-
-    @property
-    def backend(self) -> ExecutionBackend:
-        # Corner sweeps run inside engine thread fan-out, so the lazy
-        # resolution must be raced-safe: without the lock two threads could
-        # each build a pooled backend and the loser's pool would leak.
-        if self._backend is None:
-            with self._backend_lock:
-                if self._backend is None:
-                    self._backend = resolve_backend(
-                        self._backend_spec, max_workers=self._max_workers)
-        return self._backend
 
     def run(self, problems, design: dict[str, float]
             ) -> list[dict[str, float] | CornerFailure]:
@@ -218,19 +182,5 @@ class CornerSweep:
                  for corner, problem in zip(self.corners, problems)]
         return list(self.backend.map(_simulate_corner_task, tasks))
 
-    def close(self) -> None:
-        if self._backend is not None:
-            self._backend.shutdown()
-            self._backend = None
-
-    def __getstate__(self) -> dict:
-        # Live pools cannot cross process boundaries; workers rebuild lazily
-        # (and resolve the default backend to serial in worker context).
-        state = self.__dict__.copy()
-        state["_backend"] = None
-        state.pop("_backend_lock", None)
-        return state
-
-    def __setstate__(self, state: dict) -> None:
-        self.__dict__.update(state)
-        self._backend_lock = threading.Lock()
+    def __enter__(self) -> "CornerSweep":
+        return self

@@ -17,6 +17,49 @@ from repro.utils.random import RandomState, as_rng
 from repro.utils.validation import check_matrix
 
 
+# --------------------------------------------------------------------- #
+# unit-cube sampling primitives                                           #
+# --------------------------------------------------------------------- #
+# Shared by DesignSpace (physical design sampling) and the Monte Carlo
+# mismatch samplers (standard-normal z-scores via the inverse CDF), so the
+# two subsystems cannot drift apart on stratification details.
+
+def latin_hypercube_unit(n: int, dim: int, rng: RandomState = None) -> np.ndarray:
+    """Latin-hypercube points on the unit cube, ``(n, dim)``.
+
+    Each dimension is stratified into ``n`` equal bins with one point
+    uniformly placed per bin, bins visited in an independent random order.
+    """
+    rng = as_rng(rng)
+    n = int(n)
+    u = np.empty((n, int(dim)))
+    for j in range(u.shape[1]):
+        permutation = rng.permutation(n)
+        u[:, j] = (permutation + rng.uniform(size=n)) / n
+    return u
+
+
+def sobol_unit(n: int, dim: int, seed: int | None = None) -> np.ndarray:
+    """Scrambled Sobol points on the unit cube, ``(n, dim)``.
+
+    A power-of-two block is generated and the first ``n`` rows returned, so
+    any prefix of one seeded sequence is reproducible regardless of how the
+    caller batches its draws (what the adaptive Monte Carlo loop needs).
+    """
+    from scipy.stats import qmc
+    n = int(n)
+    if n < 1:
+        raise DesignSpaceError(f"n must be >= 1, got {n}")
+    block = 1 << max(int(n - 1).bit_length(), 0)
+    try:
+        sampler = qmc.Sobol(d=int(dim), scramble=True,
+                            rng=np.random.default_rng(seed))
+    except TypeError:  # scipy < 1.15 spelled the rng parameter "seed"
+        sampler = qmc.Sobol(d=int(dim), scramble=True,
+                            seed=np.random.default_rng(seed))
+    return sampler.random(block)[:n]
+
+
 @dataclass(frozen=True)
 class DesignVariable:
     """A single named design variable.
@@ -164,10 +207,8 @@ class DesignSpace:
 
     def latin_hypercube(self, n: int, rng: RandomState = None) -> np.ndarray:
         """Latin-hypercube physical designs, ``(n, d)``."""
-        rng = as_rng(rng)
-        n = int(n)
-        u = np.empty((n, self.dim))
-        for j in range(self.dim):
-            permutation = rng.permutation(n)
-            u[:, j] = (permutation + rng.uniform(size=n)) / n
-        return self.from_unit(u)
+        return self.from_unit(latin_hypercube_unit(n, self.dim, rng))
+
+    def sobol(self, n: int, seed: int | None = None) -> np.ndarray:
+        """Scrambled-Sobol physical designs, ``(n, d)``."""
+        return self.from_unit(sobol_unit(n, self.dim, seed))

@@ -221,9 +221,18 @@ class OptimizationProblem:
 
         The base problem owns none -- the attached engine is closed by its
         own ``close`` -- but wrappers that hold worker pools of their own
-        (e.g. a PVT corner sweep's fan-out backend) override this, and
-        drivers like :class:`repro.study.Study` call it after a run.
+        (e.g. a PVT corner sweep's or a Monte Carlo runner's fan-out
+        backend) override this.  Drivers like :class:`repro.study.Study`
+        call it after a run, and every problem is a context manager
+        (``with make_problem(...) as problem:``) so ad-hoc scripts have a
+        release path that survives exceptions.
         """
+
+    def __enter__(self) -> "OptimizationProblem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def metrics_matrix(self, evaluations: list[EvaluatedDesign]) -> np.ndarray:
         """Stack evaluations into an ``(n, n_metrics)`` matrix (metric order)."""

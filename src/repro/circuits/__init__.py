@@ -15,8 +15,10 @@ Each testbench is *declarative*: the problem's ``testbench()`` method builds
 a :class:`repro.bench.Testbench` (circuits, analyses, checks, measures) and
 ``simulate()`` executes it with operating-point reuse.  The ``*_corners``
 variants (:mod:`repro.circuits.corners`) evaluate the same benches across a
-PVT corner set and report worst-case metrics -- robust sizing for every
-optimizer with zero optimizer changes.
+PVT corner set and report worst-case metrics, and the ``*_yield`` variants
+(:mod:`repro.circuits.montecarlo`) estimate each design's spec yield under
+seeded Pelgrom device mismatch -- robust sizing for every optimizer with
+zero optimizer changes.
 
 :class:`FOMProblem` wraps any of them into the unconstrained
 figure-of-merit objective of Eq. 2 for the Fig. 4 experiments.
@@ -31,6 +33,12 @@ from repro.circuits.corners import (
     CornerSizingProblem,
     ThreeStageOpAmpCorners,
     TwoStageOpAmpCorners,
+)
+from repro.circuits.montecarlo import (
+    BandgapReferenceYield,
+    ThreeStageOpAmpYield,
+    TwoStageOpAmpYield,
+    YieldSizingProblem,
 )
 from repro.circuits.fom import FOMProblem
 from repro.circuits.registry import (
@@ -49,6 +57,10 @@ __all__ = [
     "TwoStageOpAmpCorners",
     "ThreeStageOpAmpCorners",
     "BandgapReferenceCorners",
+    "YieldSizingProblem",
+    "TwoStageOpAmpYield",
+    "ThreeStageOpAmpYield",
+    "BandgapReferenceYield",
     "FOMProblem",
     "make_problem",
     "available_problems",

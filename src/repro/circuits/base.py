@@ -2,14 +2,37 @@
 
 from __future__ import annotations
 
+import copy
 import hashlib
 
 import numpy as np
 
 from repro.bo.design_space import DesignSpace
 from repro.bo.problem import Constraint, OptimizationProblem
-from repro.pdk import Technology, get_technology
+from repro.pdk import Technology, apply_variation, get_technology
+from repro.pdk.variation import VariationSample
 from repro.spice.ac import logspace_frequencies
+
+
+class VariationBuilder:
+    """A circuit builder wrapped with a local-mismatch post-pass.
+
+    Calls the underlying builder, then perturbs the built netlist's MOSFETs
+    according to the technology card's
+    :attr:`~repro.pdk.Technology.variation` sample (see
+    :func:`repro.pdk.apply_variation`).  Picklable whenever the wrapped
+    builder is (bound methods of picklable problems qualify), so varied
+    benches ship to process workers like nominal ones.
+    """
+
+    def __init__(self, builder, technology: Technology):
+        self.builder = builder
+        self.technology = technology
+
+    def __call__(self, design: dict[str, float], **kwargs):
+        circuit = self.builder(design, **kwargs)
+        apply_variation(circuit, self.technology)
+        return circuit
 
 
 def simulate_design(problem: "CircuitSizingProblem",
@@ -95,6 +118,21 @@ class CircuitSizingProblem(OptimizationProblem):
         """
         raise NotImplementedError
 
+    def mc_testbench(self):
+        """The bench used when a local-mismatch sample is applied.
+
+        Defaults to :meth:`testbench`.  Circuits whose regular bench is
+        *offset-intolerant* override this: an op-amp characterised open loop
+        rails (or loses its bias entirely) under the millivolts of input
+        offset that realistic Pelgrom mismatch produces, so its Monte Carlo
+        bench must solve the DC bias in feedback -- the standard mismatch
+        sign-off recipe -- while measuring the same metric names the
+        constraints reference.  Closed-loop circuits (the bandgap, the
+        follower settling bench) absorb offsets by construction and keep
+        the default.
+        """
+        return self.testbench()
+
     @property
     def bench(self):
         """A freshly built testbench reflecting the *current* configuration.
@@ -106,16 +144,84 @@ class CircuitSizingProblem(OptimizationProblem):
         configuration, silently caching old-configuration metrics under the
         new identity.  Construction is dataclasses and closures, noise next
         to one Newton solve.
+
+        When the technology card carries a local-mismatch sample (see
+        :meth:`with_variation`), the bench comes from :meth:`mc_testbench`
+        instead and every builder is wrapped so the built netlists are
+        perturbed per device before simulation; the bench's declared
+        analyses and measures are untouched.
         """
-        return self.testbench()
+        if getattr(self.technology, "variation", None) is None:
+            return self.testbench()
+        bench = self.mc_testbench()
+        bench.builders = {
+            key: VariationBuilder(builder, self.technology)
+            for key, builder in bench.builders.items()}
+        return bench
+
+    # ------------------------------------------------------------------ #
+    # local mismatch                                                      #
+    # ------------------------------------------------------------------ #
+    def with_variation(self, sample: VariationSample) -> "CircuitSizingProblem":
+        """A shallow derived problem carrying one mismatch sample.
+
+        The clone shares every configuration attribute with this problem but
+        holds ``technology.with_variation(sample)``; its simulations perturb
+        each matched MOSFET by the sample's z-scores (scaled by the Pelgrom
+        sigma of the device's sized geometry), and its
+        :attr:`cache_token` differs through the derived card's fingerprint,
+        so per-sample results never collide in a shared design cache.  The
+        attached engine is dropped -- sample evaluation is orchestrated by
+        :class:`repro.mc.MonteCarloRunner`, not per-clone engines.
+        """
+        clone = copy.copy(self)
+        clone.technology = self.technology.with_variation(sample)
+        clone._engine = None
+        return clone
+
+    def mismatch_device_names(self) -> tuple[str, ...]:
+        """The matched devices: every MOSFET of the *mismatch* netlists.
+
+        Builds each :meth:`mc_testbench` circuit once at the design-space
+        midpoint (the device *set* is topology, independent of sizing) and
+        returns the sorted union of MOSFET names across builders, so shared
+        amplifier cores appearing in several netlist variants draw one
+        consistent mismatch sample per device.  Enumerating the MC bench --
+        not the nominal one -- matters: a device present only in the
+        mismatch netlist (e.g. a bias servo) must still be sampled, or it
+        would silently run at nominal in every Monte Carlo sample.
+        """
+        from repro.spice.devices.mosfet import Mosfet
+        bench = self.mc_testbench()
+        midpoint = self.design_space.from_unit(
+            np.full((1, self.design_space.dim), 0.5))[0]
+        design = self.design_space.as_dict(midpoint)
+        names: set[str] = set()
+        for builder in bench.builders.values():
+            circuit = builder(design)
+            names.update(device.name for device in circuit.devices
+                         if isinstance(device, Mosfet))
+        return tuple(sorted(names))
 
     def simulate(self, design: dict[str, float]) -> dict[str, float]:
         """Run the declarative testbench for one named design point."""
+        return self.simulate_checked(design)[0]
+
+    def simulate_checked(self, design: dict[str, float]
+                         ) -> tuple[dict[str, float], bool]:
+        """Like :meth:`simulate`, but with an explicit success flag.
+
+        Returns ``(metrics, ok)`` where a failed simulation carries the
+        pessimised :meth:`failed_metrics` and ``ok=False``.  Wrappers that
+        must *branch* on failure (e.g. the yield problems skipping Monte
+        Carlo for designs dead at nominal) use this instead of comparing
+        the returned dictionary against the failure sentinel.
+        """
         from repro.bench import Simulator
         result = Simulator().run(self.bench, design)
         if not result.ok:
-            return self.failed_metrics()
-        return result.metrics
+            return self.failed_metrics(), False
+        return result.metrics, True
 
     # ------------------------------------------------------------------ #
     # analysis helpers                                                    #

@@ -15,6 +15,11 @@ from repro.circuits.corners import (
     ThreeStageOpAmpCorners,
     TwoStageOpAmpCorners,
 )
+from repro.circuits.montecarlo import (
+    BandgapReferenceYield,
+    ThreeStageOpAmpYield,
+    TwoStageOpAmpYield,
+)
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.two_stage_opamp import TwoStageOpAmp, TwoStageOpAmpSettling
 from repro.utils.validation import suggestion_hint
@@ -74,3 +79,8 @@ register_problem("bandgap")(BandgapReference)
 register_problem("two_stage_opamp_corners")(TwoStageOpAmpCorners)
 register_problem("three_stage_opamp_corners")(ThreeStageOpAmpCorners)
 register_problem("bandgap_corners")(BandgapReferenceCorners)
+# Statistical variants: the same circuits judged by their Monte Carlo
+# mismatch yield (objective s.t. specs hold with probability >= target).
+register_problem("two_stage_opamp_yield")(TwoStageOpAmpYield)
+register_problem("three_stage_opamp_yield")(ThreeStageOpAmpYield)
+register_problem("bandgap_yield")(BandgapReferenceYield)

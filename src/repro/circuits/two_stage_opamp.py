@@ -183,6 +183,44 @@ class TwoStageOpAmp(CircuitSizingProblem):
             ],
             temperature=self.sim_temperature)
 
+    def _build_dc_follower(self, design: dict[str, float]) -> Circuit:
+        """Unity-feedback netlist with a quiet DC input (mismatch bias)."""
+        return self.build_follower_circuit(design, waveform=None)
+
+    def mc_testbench(self) -> bench.Testbench:
+        """Mismatch bench: feedback-servoed bias, open-loop AC around it.
+
+        The open-loop bench of :meth:`testbench` only holds its operating
+        point because perfectly matched devices leave zero systematic input
+        offset; a sampled Pelgrom offset of a few millivolts times the full
+        open-loop gain rails the second stage, which measures the *bias
+        collapse*, not the amplifier.  Mismatch sign-off therefore solves
+        the DC bias in unity feedback -- the offset appears at the output,
+        attenuated by the loop, and every device stays in its region -- and
+        linearises the open-loop AC analysis around that bias, exactly the
+        recipe the three-stage amplifier uses for its nominal bench.  Metric
+        names match :meth:`testbench`, so the spec constraints classify
+        samples unchanged.
+        """
+        return bench.Testbench(
+            name=f"{self.name}_mc",
+            builders={"dc": self._build_dc_follower,
+                      "main": self.build_circuit},
+            analyses=[
+                bench.OPSpec("op", circuit="dc"),
+                bench.ACSpec("ac", circuit="main",
+                             frequencies=self.ac_frequencies,
+                             observe=("out",), op="op"),
+            ],
+            measures=[
+                bench.supply_current_ua(analysis="op", source="VDD",
+                                        circuit="dc", name="i_total"),
+                bench.gain_db("ac", "out", name="gain"),
+                bench.phase_margin_deg("ac", "out", name="pm"),
+                bench.gbw_mhz("ac", "out", name="gbw"),
+            ],
+            temperature=self.sim_temperature)
+
     def _legacy_simulate(self, design: dict[str, float]) -> dict[str, float]:
         """Pre-testbench imperative path, kept as the equivalence reference."""
         circuit = self.build_circuit(design)
@@ -309,6 +347,14 @@ class TwoStageOpAmpSettling(TwoStageOpAmp):
                                         circuit="main", name="i_total"),
             ],
             temperature=self.sim_temperature)
+
+    def mc_testbench(self) -> "bench.Testbench":
+        """The follower step bench is closed-loop already: offsets shift the
+        output by millivolts instead of railing it, so mismatch samples run
+        the regular bench (overriding the AC servo bench inherited from
+        :class:`TwoStageOpAmp`, whose metrics the settling constraints do
+        not reference)."""
+        return self.testbench()
 
     def _legacy_simulate(self, design: dict[str, float]) -> dict[str, float]:
         """Pre-testbench imperative path, kept as the equivalence reference."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
@@ -220,6 +221,111 @@ def resolve_backend(spec: str | ExecutionBackend | None,
 #: lazily-created per-problem engines of a long experiment sweep share one
 #: worker pool instead of each leaking their own.
 _SHARED_DEFAULTS: dict[str, ExecutionBackend] = {}
+
+
+def _is_shared_default(backend: ExecutionBackend) -> bool:
+    """Whether ``backend`` is one of the process-wide default singletons."""
+    return any(backend is shared for shared in _SHARED_DEFAULTS.values())
+
+
+class BackendOwner:
+    """Lazy, race-safe owner of one execution backend resolved from a spec.
+
+    The shared lifecycle plumbing of every fan-out helper that holds a
+    backend (PVT :class:`~repro.bench.CornerSweep`, the Monte Carlo
+    :class:`~repro.mc.MonteCarloRunner`):
+
+    * resolution is lazy and lock-guarded -- owners run inside engine thread
+      fan-out, and without the lock two threads could each build a pooled
+      backend and the loser's pool would leak;
+    * :meth:`close` is idempotent and the owner is a context manager, so
+      ``with`` blocks are a first-class release path next to
+      ``OptimizationProblem.close()``;
+    * a *leaked* pool fails loudly: if the owner is garbage-collected while
+      a pooled backend it created still holds a live executor, a
+      :class:`ResourceWarning` names the backend.  (The warning fires inside
+      ``__del__``, where raising cannot abort the process -- under pytest,
+      ``filterwarnings = error`` surfaces it through the unraisable-exception
+      hook; plain scripts see it on stderr.)  Caller-provided backend
+      instances and the process-wide shared defaults are not owned, so they
+      never warn.
+    * pickling drops the live backend -- pools cannot cross process
+      boundaries -- and workers rebuild lazily (resolving the *default*
+      spec to serial in worker context, so fan-outs compose without
+      spawning pools of pools).
+    """
+
+    def __init__(self, spec: str | ExecutionBackend | None = None,
+                 max_workers: int | None = None):
+        self._backend_spec = spec
+        self._max_workers = max_workers
+        self._backend: ExecutionBackend | None = None
+        self._backend_lock = threading.Lock()
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        if self._backend is None:
+            with self._backend_lock:
+                if self._backend is None:
+                    self._backend = resolve_backend(
+                        self._backend_spec, max_workers=self._max_workers)
+        return self._backend
+
+    def _owns_backend(self) -> bool:
+        """Whether the held backend's lifecycle belongs to this owner.
+
+        Caller-provided instances (the documented way to *share* one pool
+        between consumers) and the process-wide shared defaults are merely
+        borrowed: closing them out from under their other users would abort
+        in-flight maps, so :meth:`close` only drops the reference.
+        """
+        return (self._backend is not None
+                and not isinstance(self._backend_spec, ExecutionBackend)
+                and not _is_shared_default(self._backend))
+
+    def _owns_live_pool(self) -> bool:
+        return (self._owns_backend()
+                and isinstance(self._backend, _PooledBackend)
+                and self._backend._executor is not None)
+
+    def close(self) -> None:
+        """Shut down the held backend's pool if owned, else release it
+        (idempotent)."""
+        if self._backend is not None:
+            if self._owns_backend():
+                self._backend.shutdown()
+            self._backend = None
+
+    def __enter__(self) -> "BackendOwner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # noqa: D105 - leak detector, not API
+        try:
+            leaked = self._owns_live_pool()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            return
+        if leaked:
+            # Deliberately outside the guard: under warnings-as-errors this
+            # raises out of __del__ and surfaces through the interpreter's
+            # unraisable-exception hook (which pytest's plugin reports),
+            # instead of being swallowed into a silent leak.
+            warnings.warn(
+                f"{type(self).__name__} was garbage-collected with a live "
+                f"{self._backend.name!r} worker pool; call close() or use "
+                "it as a context manager", ResourceWarning, stacklevel=2)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_backend"] = None
+        state.pop("_backend_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._backend_lock = threading.Lock()
 
 
 def default_backend(max_workers: int | None = None) -> ExecutionBackend:

@@ -1,0 +1,115 @@
+"""Yield estimation: Wilson confidence intervals and adaptive stopping.
+
+Pass/fail Monte Carlo yields a binomial proportion; the Wilson score
+interval is the standard choice for it because -- unlike the naive normal
+("Wald") interval -- it stays inside ``[0, 1]``, never collapses to zero
+width at 0% or 100% observed yield, and keeps close-to-nominal coverage at
+the small sample counts adaptive stopping aims for.
+
+:class:`YieldEstimator` accumulates pass/fail counts and answers the one
+question the adaptive loop asks after each batch: *is the interval already
+tight enough to stop?*  Stopping is monotone-safe by construction: the loop
+only ever stops at a batch boundary where the freshly computed half-width is
+at or below the target, so the *reported* interval of a ``ci_target`` stop
+can never be wider than the configuration promised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.special import ndtri
+
+
+def normal_quantile(confidence: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return float(ndtri(0.5 + 0.5 * confidence))
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns the vacuous ``(0, 1)`` for zero trials, so callers can treat
+    "no data yet" uniformly as "maximally uncertain".
+    """
+    if successes < 0 or trials < 0 or successes > trials:
+        raise ValueError(f"need 0 <= successes <= trials, "
+                         f"got {successes}/{trials}")
+    if trials == 0:
+        return (0.0, 1.0)
+    z = normal_quantile(confidence)
+    n = float(trials)
+    p = successes / n
+    z2_n = z * z / n
+    denom = 1.0 + z2_n
+    center = (p + 0.5 * z2_n) / denom
+    half = z * ((p * (1.0 - p) + 0.25 * z2_n) / n) ** 0.5 / denom
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass(frozen=True)
+class YieldEstimate:
+    """One snapshot of the running yield estimate.
+
+    ``value`` is the raw sample proportion (what converges to the true
+    yield); the Wilson bounds quantify its uncertainty at ``confidence``.
+    """
+
+    n_samples: int
+    n_pass: int
+    value: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the Wilson interval width -- the adaptive-stopping criterion."""
+        return 0.5 * (self.ci_high - self.ci_low)
+
+    def as_metrics(self, prefix: str = "yield") -> dict[str, float]:
+        """Flat float dict merged into a problem's metric dictionary."""
+        return {
+            prefix: float(self.value),
+            f"{prefix}_ci_low": float(self.ci_low),
+            f"{prefix}_ci_high": float(self.ci_high),
+        }
+
+
+class YieldEstimator:
+    """Accumulate pass/fail outcomes into a Wilson-interval yield estimate."""
+
+    def __init__(self, confidence: float = 0.95):
+        self.confidence = float(confidence)
+        normal_quantile(self.confidence)  # validate eagerly
+        self.n_samples = 0
+        self.n_pass = 0
+
+    def add(self, n_pass: int, n_samples: int) -> None:
+        """Record one batch of outcomes."""
+        if n_pass < 0 or n_samples < 0 or n_pass > n_samples:
+            raise ValueError(f"need 0 <= n_pass <= n_samples, "
+                             f"got {n_pass}/{n_samples}")
+        self.n_pass += int(n_pass)
+        self.n_samples += int(n_samples)
+
+    def update(self, passed: bool) -> None:
+        """Record a single outcome."""
+        self.add(1 if passed else 0, 1)
+
+    def estimate(self) -> YieldEstimate:
+        low, high = wilson_interval(self.n_pass, self.n_samples,
+                                    self.confidence)
+        value = (self.n_pass / self.n_samples) if self.n_samples else 0.0
+        return YieldEstimate(n_samples=self.n_samples, n_pass=self.n_pass,
+                             value=float(value), ci_low=low, ci_high=high,
+                             confidence=self.confidence)
+
+    def reached(self, ci_half_width: float | None) -> bool:
+        """Whether the interval is tight enough for the given target."""
+        if ci_half_width is None:
+            return False
+        return self.estimate().half_width <= float(ci_half_width)

@@ -10,6 +10,13 @@ allowed geometries.
 
 from repro.pdk.technology import Technology
 from repro.pdk.nodes import TECHNOLOGIES, get_technology, make_180nm, make_40nm
+from repro.pdk.variation import (
+    DeviceVariation,
+    MismatchCard,
+    VariationSample,
+    apply_variation,
+    nominal_sample,
+)
 
 __all__ = [
     "Technology",
@@ -17,4 +24,9 @@ __all__ = [
     "make_40nm",
     "get_technology",
     "TECHNOLOGIES",
+    "MismatchCard",
+    "DeviceVariation",
+    "VariationSample",
+    "apply_variation",
+    "nominal_sample",
 ]

@@ -9,6 +9,7 @@ the nodes (supply, intrinsic gain, speed), which these cards preserve.
 from __future__ import annotations
 
 from repro.pdk.technology import Technology
+from repro.pdk.variation import MismatchCard
 from repro.spice.devices.mosfet import MosfetModel
 
 
@@ -41,6 +42,10 @@ def make_180nm() -> Technology:
         max_length=2.0e-6,
         min_width=0.5e-6,
         max_width=200e-6,
+        # Pelgrom coefficients in the published 180 nm range: AVT ~ 3.5/4
+        # mV*um, current-factor mismatch ~ 1 %*um.
+        nmos_mismatch=MismatchCard(avt=3.5e-9, abeta=1.0e-8),
+        pmos_mismatch=MismatchCard(avt=4.0e-9, abeta=1.0e-8),
     )
 
 
@@ -73,6 +78,10 @@ def make_40nm() -> Technology:
         max_length=0.5e-6,
         min_width=0.12e-6,
         max_width=50e-6,
+        # Thinner oxide lowers AVT per area, but relative current-factor
+        # mismatch worsens at small geometry.
+        nmos_mismatch=MismatchCard(avt=2.0e-9, abeta=1.5e-8),
+        pmos_mismatch=MismatchCard(avt=2.2e-9, abeta=1.5e-8),
     )
 
 

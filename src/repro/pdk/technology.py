@@ -5,7 +5,12 @@ from __future__ import annotations
 import hashlib
 from dataclasses import astuple, dataclass, replace
 
+from repro.pdk.variation import MismatchCard, VariationSample
 from repro.spice.devices.mosfet import MosfetModel
+
+#: Conservative generic Pelgrom coefficients used when a card does not set
+#: its own (roughly mature-node textbook numbers: 4 mV*um and 1.5 %*um).
+DEFAULT_MISMATCH = MismatchCard(avt=4.0e-9, abeta=1.5e-8)
 
 
 @dataclass(frozen=True)
@@ -29,6 +34,14 @@ class Technology:
         cards (see :meth:`with_corner`) keep ``name`` unchanged -- design
         spaces and gain targets are keyed on the node name -- and record the
         corner here, so :attr:`fingerprint` still tells the cards apart.
+    nmos_mismatch / pmos_mismatch:
+        Pelgrom local-mismatch coefficients per polarity (see
+        :mod:`repro.pdk.variation`).
+    variation:
+        The local-mismatch sample applied to this card, or ``None`` for the
+        statistically nominal card.  Like ``corner``, a set sample keeps
+        ``name`` unchanged and only distinguishes the card through
+        :attr:`fingerprint`.
     """
 
     name: str
@@ -40,6 +53,9 @@ class Technology:
     min_width: float
     max_width: float
     corner: str = "tt"
+    nmos_mismatch: MismatchCard = DEFAULT_MISMATCH
+    pmos_mismatch: MismatchCard = DEFAULT_MISMATCH
+    variation: VariationSample | None = None
 
     @property
     def common_mode(self) -> float:
@@ -75,6 +91,29 @@ class Technology:
                        vth0=self.pmos.vth0 + pmos_vth_shift)
         return replace(self, vdd=self.vdd * vdd_scale, nmos=nmos, pmos=pmos,
                        corner=corner)
+
+    # ------------------------------------------------------------------ #
+    # local mismatch                                                       #
+    # ------------------------------------------------------------------ #
+    def with_variation(self, sample: VariationSample | None) -> "Technology":
+        """A derived card carrying one local-mismatch sample.
+
+        The statistical counterpart of :meth:`with_corner`: device models and
+        geometry limits stay nominal (the per-device shifts depend on each
+        transistor's sized geometry, so they are applied at netlist-build
+        time by :func:`repro.pdk.variation.apply_variation`), while the
+        sample's z-scores enter :attr:`fingerprint` so no two samples -- and
+        no sample and the nominal card -- ever share design-cache entries.
+        """
+        return replace(self, variation=sample)
+
+    def mismatch_card(self, polarity: str) -> MismatchCard:
+        """The Pelgrom coefficients of one polarity (``"nmos"``/``"pmos"``)."""
+        if polarity == "nmos":
+            return self.nmos_mismatch
+        if polarity == "pmos":
+            return self.pmos_mismatch
+        raise ValueError(f"polarity must be 'nmos' or 'pmos', got {polarity!r}")
 
     @property
     def fingerprint(self) -> str:

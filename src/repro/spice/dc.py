@@ -66,18 +66,72 @@ def _newton_solve(circuit: Circuit, start: np.ndarray, temperature: float,
     return voltages, False, max_iterations
 
 
+#: Fallback schedule for solves the standard settings cannot crack: a much
+#: denser gmin ladder with gentle damping.  Slower per attempt, so it only
+#: runs after the standard ladder has already failed.
+_RESCUE_GMIN_STEPS = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9,
+                      1e-10, 1e-11, 1e-12)
+_RESCUE_MAX_ITERATIONS = 200
+_RESCUE_DAMPING = 0.1
+#: The rescue ladder aborts once more than this many of its steps have
+#: failed: rescuable chains recover within a step or two, while a
+#: genuinely dead circuit fails every remaining level -- bailing out keeps
+#: the cost of hopeless designs (common in random optimizer batches) to a
+#: fraction of the full ladder.
+_RESCUE_MAX_FAILED_STEPS = 2
+
+
+def _gmin_ladder(circuit: Circuit, start: np.ndarray, temperature: float,
+                 gmin_steps: tuple[float, ...], max_iterations: int,
+                 tolerance: float, damping: float,
+                 max_failed_steps: int | None = None,
+                 ) -> tuple[np.ndarray, bool, int]:
+    """Run Newton down a gmin ladder, warm-starting each step.
+
+    ``max_failed_steps`` aborts the ladder early once more than that many
+    steps have failed to converge (``None`` never aborts -- the standard
+    path's exact legacy semantics).
+    """
+    voltages = start
+    total_iterations = 0
+    converged = False
+    failed_steps = 0
+    for gmin in gmin_steps:
+        voltages, converged, used = _newton_solve(
+            circuit, voltages, temperature, gmin, max_iterations, tolerance,
+            damping)
+        total_iterations += used
+        if not converged:
+            failed_steps += 1
+            if (max_failed_steps is not None
+                    and failed_steps > max_failed_steps):
+                break
+    return voltages, converged, total_iterations
+
+
 def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
                        max_iterations: int = 150, tolerance: float = 1e-9,
                        damping: float = 0.5,
                        gmin_steps: tuple[float, ...] = (1e-2, 1e-4, 1e-6, 1e-9, 1e-12),
                        initial_guess: np.ndarray | None = None,
-                       raise_on_failure: bool = False) -> OperatingPoint:
+                       raise_on_failure: bool = False,
+                       rescue: bool = True) -> OperatingPoint:
     """Find the DC operating point of ``circuit``.
 
     gmin stepping: the circuit is first solved with a large conductance from
     every node to ground (which makes the system nearly linear), then the
     conductance is reduced step by step, warm-starting each Newton solve from
     the previous solution.
+
+    When the standard ladder fails and ``rescue`` is set (the default), one
+    fallback attempt runs a much denser gmin ladder with gentler damping
+    from the same starting point, bailing out early once a few of its steps
+    have failed (hopeless circuits stay cheap; rescuable chains recover
+    within a step or two).  Solves that converge on the standard ladder
+    never enter the fallback, so their solutions are bit-identical with and
+    without it; the fallback exists for *marginally* hard circuits -- e.g.
+    a bandgap whose mirror devices carry millivolt mismatch shifts -- where
+    the coarse ladder's basin hopping overshoots.
 
     When Newton fails at the final gmin the best solution found is returned
     with ``converged=False`` (or :class:`ConvergenceError` is raised when
@@ -86,19 +140,22 @@ def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
     """
     circuit.ensure_indices()
     size = circuit.n_nodes + circuit.n_branches
-    voltages = np.zeros(size) if initial_guess is None else np.asarray(
+    start = np.zeros(size) if initial_guess is None else np.asarray(
         initial_guess, dtype=float).copy()
-    if voltages.shape[0] != size:
+    if start.shape[0] != size:
         raise ValueError(f"initial_guess must have length {size}")
 
-    total_iterations = 0
-    converged = False
-    for gmin in gmin_steps:
-        voltages, converged, used = _newton_solve(
-            circuit, voltages, temperature, gmin, max_iterations, tolerance, damping)
+    voltages, converged, total_iterations = _gmin_ladder(
+        circuit, start.copy(), temperature, tuple(gmin_steps),
+        max_iterations, tolerance, damping)
+    if not converged and rescue:
+        rescued, converged, used = _gmin_ladder(
+            circuit, start.copy(), temperature, _RESCUE_GMIN_STEPS,
+            _RESCUE_MAX_ITERATIONS, tolerance, _RESCUE_DAMPING,
+            max_failed_steps=_RESCUE_MAX_FAILED_STEPS)
         total_iterations += used
-        if not converged and gmin == gmin_steps[-1]:
-            break
+        if converged:
+            voltages = rescued
     if not converged and raise_on_failure:
         raise ConvergenceError(
             f"DC analysis of {circuit.title!r} did not converge after "

@@ -9,8 +9,11 @@ Subcommands
     Continue an interrupted study from its checkpoint; the replayed prefix
     consumes no simulations and the final history is bit-identical to an
     uninterrupted run.
-``list-optimizers`` / ``list-circuits``
-    Human-readable (or ``--json``) listings of both registries.
+``list-optimizers`` / ``list-problems`` (alias ``list-circuits``)
+    Human-readable (or ``--json``) listings of both registries;
+    ``list-problems`` includes each problem's accepted ``problem_options``
+    (corner sets, Monte Carlo configuration, ...) so spec files are
+    discoverable from the terminal.
 
 Progress goes to stderr (``--quiet`` silences it); structured results go to
 stdout or the ``--output`` file, one JSON object per line.
@@ -55,9 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "list-optimizers", help="list registered optimizers and aliases")
     list_optimizers.add_argument("--json", action="store_true", dest="as_json")
 
-    list_circuits = commands.add_parser(
-        "list-circuits", help="list registered circuit problems")
-    list_circuits.add_argument("--json", action="store_true", dest="as_json")
+    for command_name in ("list-problems", "list-circuits"):
+        list_problems = commands.add_parser(
+            command_name,
+            help="list registered problems with their problem_options")
+        list_problems.add_argument("--json", action="store_true",
+                                   dest="as_json")
     return parser
 
 
@@ -144,18 +150,67 @@ def _command_list_optimizers(args) -> int:
     return 0
 
 
+def _problem_options(cls) -> dict[str, str]:
+    """Constructor keywords a spec's ``problem_options`` may set.
+
+    Introspected from the registered class, so plugins are covered with
+    zero bookkeeping.  ``technology`` is excluded (it is a top-level spec
+    field) and ``**kwargs`` pass-throughs surface as ``"..."``.
+    """
+    import inspect
+    options: dict[str, str] = {}
+    for parameter in inspect.signature(cls.__init__).parameters.values():
+        if parameter.name in ("self", "technology"):
+            continue
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            options["..."] = "forwarded to the wrapped problem"
+        elif parameter.kind is not inspect.Parameter.VAR_POSITIONAL:
+            default = ("required" if parameter.default is inspect.Parameter.empty
+                       else repr(parameter.default))
+            options[parameter.name] = default
+    return options
+
+
 def _command_list_circuits(args) -> int:
-    from repro.circuits import available_problems, make_problem
-    names = available_problems()
+    """Legacy alias: keeps the original ``--json`` shape (a name list)."""
+    from repro.circuits import available_problems
     if args.as_json:
-        print(json.dumps(names, indent=2))
+        print(json.dumps(available_problems(), indent=2))
         return 0
+    return _command_list_problems(args)
+
+
+def _command_list_problems(args) -> int:
+    from repro.circuits import available_problems, make_problem
+    from repro.circuits.registry import _PROBLEMS
+    names = available_problems()
+    entries = []
     for name in names:
         problem = make_problem(name)
-        direction = "minimise" if problem.minimize else "maximise"
-        print(f"{name}: {direction} {problem.objective}, "
-              f"{problem.design_space.dim} variables, "
-              f"{problem.n_constraints} constraints")
+        try:
+            entries.append({
+                "name": name,
+                "objective": problem.objective,
+                "minimize": problem.minimize,
+                "n_design_variables": problem.design_space.dim,
+                "constraints": [
+                    f"{c.name} {'>=' if c.sense == 'ge' else '<='} {c.threshold:g}"
+                    for c in problem.constraints],
+                "problem_options": _problem_options(_PROBLEMS[name]),
+            })
+        finally:
+            problem.close()
+    if args.as_json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    for entry in entries:
+        direction = "minimise" if entry["minimize"] else "maximise"
+        print(f"{entry['name']}: {direction} {entry['objective']}, "
+              f"{entry['n_design_variables']} variables, "
+              f"s.t. {', '.join(entry['constraints']) or '(unconstrained)'}")
+        options = ", ".join(f"{key}={value}" for key, value
+                            in entry["problem_options"].items())
+        print(f"  problem_options: {options or '(none)'}")
     return 0
 
 
@@ -163,6 +218,7 @@ _COMMANDS = {
     "run": _command_run,
     "resume": _command_resume,
     "list-optimizers": _command_list_optimizers,
+    "list-problems": _command_list_problems,
     "list-circuits": _command_list_circuits,
 }
 

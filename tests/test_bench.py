@@ -477,3 +477,47 @@ class TestCornerStudySpec:
         assert "i_total_nominal" in result.history.evaluations[0].metrics
         # Study.run must release the corner fan-out pool with the engine.
         assert closed["n"] >= 1
+
+
+class TestCornerSweepLifecycle:
+    def test_context_manager_closes_pool(self):
+        from repro.bench import CornerSweep, nominal_corner
+        with CornerSweep([nominal_corner()], backend="thread") as sweep:
+            sweep.backend.map(abs, [1, -2])
+            assert sweep._backend is not None
+        assert sweep._backend is None
+
+    def test_leaked_pool_fails_loudly(self):
+        # Regression: before the BackendOwner lifecycle, a CornerSweep whose
+        # owner skipped close() leaked its pool silently; now the leak warns
+        # (and `python -W error::ResourceWarning` turns it into a failure).
+        from repro.bench import CornerSweep, nominal_corner
+        sweep = CornerSweep([nominal_corner()], backend="thread")
+        sweep.backend.map(abs, [1, -2])
+        with pytest.warns(ResourceWarning, match="live 'thread' worker pool"):
+            sweep.__del__()
+        sweep.close()
+
+    def test_closed_and_serial_sweeps_do_not_warn(self):
+        import warnings as warnings_module
+        from repro.bench import CornerSweep, nominal_corner
+        closed = CornerSweep([nominal_corner()], backend="thread")
+        closed.backend.map(abs, [1])
+        closed.close()
+        serial = CornerSweep([nominal_corner()])
+        serial.backend.map(abs, [1])
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            closed.__del__()
+            serial.__del__()
+
+    def test_pickled_sweep_rebuilds_lazily(self):
+        import pickle
+        from repro.bench import CornerSweep, nominal_corner
+        sweep = CornerSweep([nominal_corner()], backend="thread")
+        sweep.backend.map(abs, [1])
+        clone = pickle.loads(pickle.dumps(sweep))
+        assert clone._backend is None
+        assert clone.backend.map(abs, [-3]) == [3]
+        clone.close()
+        sweep.close()

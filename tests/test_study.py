@@ -474,6 +474,27 @@ class TestCheckpointResume:
         with pytest.raises(CheckpointError, match="header"):
             read_checkpoint(path)
 
+    def test_yield_study_resume_bit_identical(self, tmp_path):
+        # Kill-and-resume of a Monte Carlo *yield* study: the resumed run
+        # must rebuild the identical problem (MC config via problem_options)
+        # and the replayed prefix plus the freshly simulated tail must match
+        # an uninterrupted run bit for bit -- which also proves the sampler
+        # streams are stable across checkpoint/resume.
+        spec = StudySpec(
+            optimizer="rs", circuit="two_stage_opamp_yield",
+            n_simulations=12, n_init=4, batch_size=2, seed=3,
+            problem_options={"yield_target": 0.5,
+                             "mc": {"n_max": 12, "n_min": 6,
+                                    "batch_size": 6, "seed": 5}})
+        reference, resumed = self._kill_and_resume(spec, tmp_path)
+        np.testing.assert_array_equal(reference.history.x, resumed.history.x)
+        np.testing.assert_array_equal(reference.history.objectives,
+                                      resumed.history.objectives)
+        for ref, res in zip(reference.history.evaluations,
+                            resumed.history.evaluations):
+            assert ref.metrics == res.metrics
+        assert "yield" in reference.history.evaluations[0].metrics
+
 
 # ---------------------------------------------------------------------- #
 # initialize() contract (BaseOptimizer satellite fix)                     #
@@ -545,10 +566,26 @@ class TestCLI:
         names = {entry["name"] for entry in listing}
         assert {"kato", "kato_tl", "mace"} <= names
 
-    def test_list_circuits_json(self, capsys):
+    def test_list_circuits_json_keeps_legacy_name_list(self, capsys):
         assert cli_main(["list-circuits", "--json"]) == 0
         names = json.loads(capsys.readouterr().out)
         assert "two_stage_opamp" in names and "study_quadratic" in names
+
+    def test_list_problems_shows_problem_options(self, capsys):
+        assert cli_main(["list-problems", "--json"]) == 0
+        listing = {entry["name"]: entry
+                   for entry in json.loads(capsys.readouterr().out)}
+        assert "two_stage_opamp_yield" in listing
+        yield_entry = listing["two_stage_opamp_yield"]
+        assert "yield >= 0.9" in yield_entry["constraints"]
+        assert {"yield_target", "mc", "backend"} <= set(
+            yield_entry["problem_options"])
+        corners_entry = listing["two_stage_opamp_corners"]
+        assert "corners" in corners_entry["problem_options"]
+        # The human-readable listing carries the same discovery info.
+        assert cli_main(["list-problems"]) == 0
+        text = capsys.readouterr().out
+        assert "problem_options:" in text and "yield_target=0.9" in text
 
     def test_run_emits_valid_result_jsonl(self, tmp_path, capsys):
         spec_path = tmp_path / "spec.json"
