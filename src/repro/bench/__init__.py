@@ -60,6 +60,7 @@ from repro.bench.measures import (
     supply_current_ua,
     tc_ppm,
 )
+from repro.bench.batch import BatchJobError, BatchSimulator
 from repro.bench.simulator import Simulator
 from repro.bench.testbench import Check, SimResult, Testbench
 
@@ -78,6 +79,8 @@ __all__ = [
     "SimResult",
     "Testbench",
     "Simulator",
+    "BatchSimulator",
+    "BatchJobError",
     "CornerSpec",
     "CornerSweep",
     "CornerFailure",

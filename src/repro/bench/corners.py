@@ -174,10 +174,30 @@ class CornerSweep(BackendOwner):
 
     def run(self, problems, design: dict[str, float]
             ) -> list[dict[str, float] | CornerFailure]:
-        """Simulate ``design`` on each per-corner problem, in corner order."""
+        """Simulate ``design`` on each per-corner problem, in corner order.
+
+        On a :class:`~repro.engine.backends.BatchedBackend` the per-corner
+        benches (same topology, different technology cards, temperatures and
+        supplies) are solved in one stacked session through
+        :func:`repro.circuits.base.simulate_checked_batch`, bit-identical to
+        the serial fan-out; otherwise each corner is one ``backend.map`` task.
+        """
         if len(problems) != len(self.corners):
             raise ValueError(f"expected {len(self.corners)} per-corner "
                              f"problems, got {len(problems)}")
+        if (getattr(self.backend, "batched", False)
+                and all(getattr(problem, "supports_batch_simulation", False)
+                        for problem in problems)):
+            from repro.circuits.base import simulate_checked_batch
+            jobs = [(problem, design) for problem in problems]
+            outcomes: list = []
+            for corner, result in zip(self.corners,
+                                      simulate_checked_batch(jobs)):
+                if isinstance(result, tuple):
+                    outcomes.append(result[0])
+                else:
+                    outcomes.append(CornerFailure(corner.name, result.message))
+            return outcomes
         tasks = [(corner.name, problem, design)
                  for corner, problem in zip(self.corners, problems)]
         return list(self.backend.map(_simulate_corner_task, tasks))

@@ -76,6 +76,12 @@ class OptimizationProblem:
         Threshold constraints on other metrics.
     """
 
+    #: Whether this problem can be simulated through the vectorised batch
+    #: path (``repro.circuits.base.simulate_checked_batch``).  Testbench
+    #: problems opt in; wrappers that fan out *internally* (corner sweeps,
+    #: Monte Carlo yield) stay False -- their own fan-outs batch instead.
+    supports_batch_simulation = False
+
     def __init__(self, name: str, design_space: DesignSpace, objective: str,
                  minimize: bool, constraints: list[Constraint]):
         self.name = name
@@ -130,6 +136,19 @@ class OptimizationProblem:
         x = np.asarray(x, dtype=float).ravel()
         design = self.design_space.as_dict(self.design_space.clip(x.reshape(1, -1))[0])
         metrics = self.simulate(design)
+        return self.evaluation_from_metrics(x, metrics)
+
+    def evaluation_from_metrics(self, x,
+                                metrics: dict[str, float]) -> EvaluatedDesign:
+        """Fold a metric dictionary into a full :class:`EvaluatedDesign`.
+
+        The constraint bookkeeping of :meth:`evaluate`, split out so batched
+        simulation paths (which obtain many metric dictionaries from one
+        vectorised solve) produce records identical to the serial path.
+        Raises :class:`KeyError` when ``metrics`` is missing a declared
+        metric, exactly like :meth:`evaluate` would.
+        """
+        x = np.asarray(x, dtype=float).ravel()
         missing = [m for m in self.metric_names if m not in metrics]
         if missing:
             raise KeyError(f"simulate() did not return metrics {missing} for {self.name}")

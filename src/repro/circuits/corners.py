@@ -63,6 +63,10 @@ class CornerSizingProblem(CircuitSizingProblem):
         Forwarded to every per-corner instance of ``base_cls``.
     """
 
+    #: The wrapper has no bench of its own -- its *corner fan-out* is the
+    #: batched unit (CornerSweep stacks the per-corner benches instead).
+    supports_batch_simulation = False
+
     def __init__(self, base_name: str, base_cls: type,
                  technology="180nm", corners=None,
                  backend=None, max_workers: int | None = None,

@@ -69,6 +69,10 @@ class YieldSizingProblem(CircuitSizingProblem):
         Forwarded to the wrapped ``base_cls``.
     """
 
+    #: The wrapper has no bench of its own -- its *sample fan-out* is the
+    #: batched unit (MonteCarloRunner stacks the per-sample benches instead).
+    supports_batch_simulation = False
+
     def __init__(self, base_name: str, base_cls: type,
                  technology="180nm", yield_target: float = 0.9,
                  mc=None, backend=None, max_workers: int | None = None,

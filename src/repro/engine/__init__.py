@@ -19,6 +19,7 @@ into parallelism per call (``backend="process"``) or globally via the
 
 from repro.engine.backends import (
     BACKEND_ENV_VAR,
+    BatchedBackend,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
@@ -32,6 +33,7 @@ from repro.engine.engine import EvaluationEngine, evaluate_design_task
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "BatchedBackend",
     "CacheStats",
     "DesignCache",
     "EvaluationEngine",

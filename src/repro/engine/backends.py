@@ -2,11 +2,18 @@
 
 A backend is an object with an ordered :meth:`ExecutionBackend.map`: it takes
 a picklable callable and a list of work items and returns the results in
-input order.  Three implementations cover the useful points of the
+input order.  Four implementations cover the useful points of the
 serial/concurrent design space:
 
 * :class:`SerialBackend` -- a plain list comprehension; zero overhead, fully
   deterministic, the default everywhere.
+* :class:`BatchedBackend` -- serial ``map`` semantics plus a capability flag
+  (:attr:`ExecutionBackend.batched`) that consumers which know how to
+  *vectorise* their work -- the evaluation engine, the Monte Carlo runner,
+  the PVT corner sweep -- use to route a whole batch through one stacked
+  simulation (see :func:`repro.spice.dc.dc_operating_point_batch`) instead
+  of N independent solves.  Results are bit-identical to serial by
+  construction of the batched solver.
 * :class:`ThreadBackend` -- a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
   The SPICE solves spend most of their time inside numpy/LAPACK calls that
   release the GIL, so threads already overlap the linear-algebra portion of
@@ -64,6 +71,12 @@ class ExecutionBackend:
 
     name = "base"
 
+    #: Capability flag: consumers that know how to evaluate a whole batch in
+    #: one vectorised call (stacked-tensor Newton across designs/samples)
+    #: check this instead of the concrete type, so new batched backends work
+    #: everywhere automatically.  Pure map-style backends leave it False.
+    batched = False
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item and return results in input order."""
         raise NotImplementedError
@@ -88,6 +101,22 @@ class SerialBackend(ExecutionBackend):
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         return [fn(item) for item in items]
+
+
+class BatchedBackend(SerialBackend):
+    """Single-process backend that advertises vectorised batch evaluation.
+
+    ``map`` is inherited serial behaviour -- it exists so consumers without a
+    batched code path (e.g. study repetition fan-out) degrade gracefully.
+    Batch-aware consumers check :attr:`batched` and hand the whole work list
+    to the stacked simulation core instead, which solves every design of the
+    batch inside one ``(B, N, N)`` Newton iteration.  The batched solvers are
+    bit-identical to the serial ones, so switching a run to this backend
+    never changes its results -- only its wall-clock time.
+    """
+
+    name = "batched"
+    batched = True
 
 
 class _PooledBackend(ExecutionBackend):
@@ -186,6 +215,7 @@ class ProcessBackend(_PooledBackend):
 
 _BACKENDS: dict[str, type[ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
+    BatchedBackend.name: BatchedBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
 }
@@ -212,7 +242,7 @@ def resolve_backend(spec: str | ExecutionBackend | None,
     if key not in _BACKENDS:
         raise ValueError(f"unknown backend {spec!r}; available: {available_backends()}")
     cls = _BACKENDS[key]
-    if cls is SerialBackend:
+    if not issubclass(cls, _PooledBackend):
         return cls()
     return cls(max_workers=max_workers)
 

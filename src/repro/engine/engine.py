@@ -143,8 +143,7 @@ class EvaluationEngine:
                 pending.append(index)
 
         if pending:
-            tasks = [(self.problem, x[index]) for index in pending]
-            outcomes = self.backend.map(evaluate_design_task, tasks)
+            outcomes = self._dispatch(x, pending)
             for index, outcome in zip(pending, outcomes):
                 self.n_evaluated += 1
                 if isinstance(outcome, _TaskFailure):
@@ -179,6 +178,41 @@ class EvaluationEngine:
                 if results[index] is None:
                     results[index] = self._clone(source[key], x[index])
         return results  # type: ignore[return-value]
+
+    def _dispatch(self, x: np.ndarray, pending: list[int]) -> list:
+        """Simulate the pending rows: vectorised when the backend allows it.
+
+        On a :class:`~repro.engine.backends.BatchedBackend` (and a problem
+        that opted in via ``supports_batch_simulation``) the whole pending
+        set goes through one stacked-tensor simulation; otherwise each row is
+        an independent :func:`evaluate_design_task` through ``backend.map``.
+        Both paths return, per row, either an :class:`EvaluatedDesign` or a
+        :class:`_TaskFailure` -- and the batched path is bit-identical to
+        serial, so backend choice never changes recorded results.
+        """
+        if (getattr(self.backend, "batched", False)
+                and getattr(self.problem, "supports_batch_simulation", False)):
+            from repro.circuits.base import simulate_checked_batch
+            space = self.problem.design_space
+            jobs = []
+            for index in pending:
+                row = x[index].reshape(1, -1)
+                jobs.append((self.problem, space.as_dict(space.clip(row)[0])))
+            outcomes = []
+            for index, result in zip(pending, simulate_checked_batch(jobs)):
+                if isinstance(result, tuple):
+                    metrics, _ok = result
+                    try:
+                        outcomes.append(self.problem.evaluation_from_metrics(
+                            x[index], metrics))
+                    except Exception as exc:  # noqa: BLE001 - mirror task path
+                        outcomes.append(_TaskFailure(
+                            type(exc).__name__, f"{type(exc).__name__}: {exc}"))
+                else:
+                    outcomes.append(_TaskFailure(result.kind, result.message))
+            return outcomes
+        tasks = [(self.problem, x[index]) for index in pending]
+        return self.backend.map(evaluate_design_task, tasks)
 
     @staticmethod
     def _clone(evaluation: EvaluatedDesign, x: np.ndarray) -> EvaluatedDesign:

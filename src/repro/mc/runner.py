@@ -276,8 +276,7 @@ class MonteCarloRunner(BackendOwner):
             count = min(config.batch_size,
                         config.n_max - estimator.n_samples)
             batch = sampler.take(estimator.n_samples, count)
-            tasks = [(problem, design, sample) for sample in batch]
-            outcomes = self.backend.map(_simulate_sample_task, tasks)
+            outcomes = self._dispatch(problem, design, batch)
             for sample, outcome in zip(batch, outcomes):
                 if isinstance(outcome, SampleFailure):
                     n_failures += 1
@@ -301,3 +300,40 @@ class MonteCarloRunner(BackendOwner):
                                 per_sample=per_sample,
                                 samples=samples,
                                 fingerprints=fingerprints)
+
+    def _dispatch(self, problem, design: dict[str, float], batch):
+        """Simulate one sample batch: stacked when the backend allows it.
+
+        On a :class:`~repro.engine.backends.BatchedBackend` the varied
+        per-sample clones are derived in the coordinator and their benches
+        solved in one vectorised session
+        (:func:`repro.circuits.base.simulate_checked_batch`) -- bit-identical
+        to the serial path, since each sample still sees its own perturbed
+        netlist.  Otherwise samples ship to ``backend.map`` one task each.
+        Returns, per sample, a metric dictionary or a :class:`SampleFailure`.
+        """
+        if (getattr(self.backend, "batched", False)
+                and getattr(problem, "supports_batch_simulation", False)):
+            from repro.circuits.base import simulate_checked_batch
+            jobs = []
+            outcomes: list = []
+            for sample in batch:
+                try:
+                    jobs.append((problem.with_variation(sample), design))
+                    outcomes.append(None)
+                except Exception as exc:  # noqa: BLE001 - mirror task path
+                    outcomes.append(SampleFailure(
+                        sample.index, f"{type(exc).__name__}: {exc}"))
+            results = iter(simulate_checked_batch(jobs))
+            for position, sample in enumerate(batch):
+                if outcomes[position] is not None:
+                    continue
+                result = next(results)
+                if isinstance(result, tuple):
+                    outcomes[position] = result[0]
+                else:
+                    outcomes[position] = SampleFailure(sample.index,
+                                                       result.message)
+            return outcomes
+        tasks = [(problem, design, sample) for sample in batch]
+        return self.backend.map(_simulate_sample_task, tasks)

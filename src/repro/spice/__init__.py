@@ -38,8 +38,19 @@ from repro.spice.devices import (
     VoltageSource,
     Waveform,
 )
-from repro.spice.dc import OperatingPoint, dc_operating_point
-from repro.spice.ac import ACResult, ac_analysis
+from repro.spice.dc import (
+    OperatingPoint,
+    dc_operating_point,
+    dc_operating_point_batch,
+)
+from repro.spice.ac import ACResult, ac_analysis, ac_analysis_batch
+from repro.spice.mna import (
+    SPARSE_SIZE_THRESHOLD,
+    BatchStamper,
+    SparseBatchStamper,
+    SparseStamper,
+    Stamper,
+)
 from repro.spice.transient import (
     TransientResult,
     transient_analysis,
@@ -67,8 +78,15 @@ __all__ = [
     "SineWaveform",
     "OperatingPoint",
     "dc_operating_point",
+    "dc_operating_point_batch",
     "ACResult",
     "ac_analysis",
+    "ac_analysis_batch",
+    "Stamper",
+    "BatchStamper",
+    "SparseStamper",
+    "SparseBatchStamper",
+    "SPARSE_SIZE_THRESHOLD",
     "TransientResult",
     "transient_analysis",
     "transient_operating_point",

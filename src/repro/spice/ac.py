@@ -213,6 +213,107 @@ def _ac_analysis_vectorized(circuit: Circuit, operating_point: OperatingPoint,
     return ACResult(frequencies=frequencies, node_voltages=responses)
 
 
+#: Memory budget (bytes) for one stacked ``(b, F, N, N)`` complex tensor in
+#: the batched AC path; larger batches are solved in chunks.
+_AC_BATCH_BYTES = 3.2e8
+
+
+def ac_analysis_batch(circuits, operating_points,
+                      frequencies: np.ndarray | None = None,
+                      observe: list[str] | None = None,
+                      method: str = "auto") -> list[ACResult]:
+    """AC sweeps of ``B`` topology-identical circuits as stacked solves.
+
+    Extends the vectorized affine path to a ``(B, F, N, N)`` tensor: each
+    design's ``G``/``S`` matrices are assembled (and affinity-probed) exactly
+    as in :func:`ac_analysis`, the stack is solved in one LAPACK call (in
+    memory-bounded chunks along the design axis), and each design's slice is
+    bit-identical to its serial solve.  Designs that fail the affinity probe
+    or hit a singular frequency point fall back to serial
+    :func:`ac_analysis` individually; ``method="vectorized"`` /
+    ``"per_frequency"`` simply loop the serial path per design.
+    """
+    circuits = list(circuits)
+    operating_points = list(operating_points)
+    if len(circuits) != len(operating_points):
+        raise ValueError("need one operating point per circuit")
+    if not circuits:
+        return []
+    if method not in ("auto", "vectorized", "per_frequency"):
+        raise ValueError(f"unknown AC method {method!r}")
+    if frequencies is None:
+        frequencies = logspace_frequencies()
+    frequencies = np.asarray(frequencies, dtype=float)
+    if method != "auto":
+        return [ac_analysis(circuit, op, frequencies, observe, method)
+                for circuit, op in zip(circuits, operating_points)]
+
+    results: list[ACResult | None] = [None] * len(circuits)
+    serial_designs: list[int] = []
+    prepared: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+    for b, (circuit, op) in enumerate(zip(circuits, operating_points)):
+        circuit.ensure_indices()
+        if not all(device.ac_affine for device in circuit.devices):
+            serial_designs.append(b)
+            continue
+        base = circuit.stamp_ac(0.0, op)
+        unit = circuit.stamp_ac(1.0, op)
+        if not np.array_equal(base.rhs, unit.rhs):
+            serial_designs.append(b)
+            continue
+        slope = unit.matrix - base.matrix
+        probe = circuit.stamp_ac(2.0, op)
+        expected = base.matrix + 2.0 * slope
+        if not (np.allclose(probe.matrix, expected, rtol=1e-8, atol=1e-30)
+                and np.array_equal(probe.rhs, base.rhs)):
+            serial_designs.append(b)
+            continue
+        prepared.append((b, base.matrix, slope, base.rhs))
+
+    first = circuits[0]
+    observed = list(observe) if observe is not None else first.nodes
+    omegas = 2.0 * np.pi * frequencies
+    size = first.n_nodes + first.n_branches
+    diagonal = np.arange(first.n_nodes)
+    bytes_per_design = max(frequencies.shape[0] * size * size * 16, 1)
+    chunk = max(1, int(_AC_BATCH_BYTES // bytes_per_design))
+    for offset in range(0, len(prepared), chunk):
+        group = prepared[offset:offset + chunk]
+        bases = np.stack([entry[1] for entry in group])
+        slopes = np.stack([entry[2] for entry in group])
+        rhs = np.stack([entry[3] for entry in group])
+        systems = (bases[:, None, :, :]
+                   + omegas[None, :, None, None] * slopes[:, None, :, :])
+        systems[:, :, diagonal, diagonal] += _AC_GMIN
+        stacked_rhs = np.broadcast_to(
+            rhs[:, None, :, None],
+            (len(group), frequencies.shape[0], size, 1))
+        try:
+            solutions = np.linalg.solve(systems, stacked_rhs)[..., 0]
+        except np.linalg.LinAlgError:
+            # At least one design has a singular frequency point; let the
+            # serial driver sort each of them out (it falls back to the
+            # per-frequency least-squares loop design by design).
+            serial_designs.extend(entry[0] for entry in group)
+            continue
+        for j, (b, *_rest) in enumerate(group):
+            circuit = circuits[b]
+            responses: dict[str, np.ndarray] = {}
+            for node in observed:
+                index = circuit.node_index(node)
+                if index < 0:
+                    responses[node] = np.zeros(frequencies.shape[0],
+                                               dtype=complex)
+                else:
+                    responses[node] = solutions[j, :, index].copy()
+            results[b] = ACResult(frequencies=frequencies,
+                                  node_voltages=responses)
+    for b in serial_designs:
+        results[b] = ac_analysis(circuits[b], operating_points[b],
+                                 frequencies, observe, method="auto")
+    return results
+
+
 def _ac_analysis_per_frequency(circuit: Circuit, operating_point: OperatingPoint,
                                frequencies: np.ndarray,
                                observed: list[str]) -> ACResult:

@@ -1,4 +1,22 @@
-"""Newton-Raphson DC operating-point analysis with gmin stepping."""
+"""Newton-Raphson DC operating-point analysis with gmin stepping.
+
+Two drivers share one model of the iteration:
+
+* :func:`dc_operating_point` -- classic serial Newton on one circuit;
+* :func:`dc_operating_point_batch` -- the same gmin ladder on ``B``
+  topology-identical circuits at once, assembling one ``(B, size, size)``
+  tensor per iteration (or one shared-pattern sparse batch) and solving it
+  with a single stacked call.  Per-design convergence masking freezes
+  finished designs exactly where the serial iteration would stop them, so
+  each design's iterate sequence -- and hence its final
+  :class:`OperatingPoint` -- is bit-identical to a serial solve of that
+  design alone with the same solver.
+
+Solver selection (``solver=`` on both drivers): ``"dense"`` uses the LAPACK
+path, ``"sparse"`` CSR + SuperLU, and ``"auto"`` (default) picks sparse once
+the MNA system size reaches
+:data:`repro.spice.mna.SPARSE_SIZE_THRESHOLD`.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +24,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, NetlistError
+from repro.spice.mna import (
+    HAVE_SCIPY_SPARSE,
+    SPARSE_SIZE_THRESHOLD,
+    BatchStamper,
+    SparseBatchStamper,
+)
 from repro.spice.netlist import Circuit
 
 
@@ -44,17 +68,36 @@ class OperatingPoint:
         return self.node_voltages[node]
 
 
+def _resolve_solver(size: int, solver: str) -> str:
+    """Resolve a ``solver=`` argument (``"auto"``/``"dense"``/``"sparse"``)."""
+    if solver == "auto":
+        if HAVE_SCIPY_SPARSE and size >= SPARSE_SIZE_THRESHOLD:
+            return "sparse"
+        return "dense"
+    if solver not in ("dense", "sparse"):
+        raise ValueError(f"solver must be 'auto', 'dense' or 'sparse', "
+                         f"got {solver!r}")
+    return solver
+
+
 def _newton_solve(circuit: Circuit, start: np.ndarray, temperature: float,
                   gmin: float, max_iterations: int, tolerance: float,
-                  damping: float) -> tuple[np.ndarray, bool, int]:
+                  damping: float, solver: str = "dense",
+                  ) -> tuple[np.ndarray, bool, int]:
     """Damped Newton iteration at a fixed gmin level."""
     voltages = start.copy()
+    stamper = circuit.make_dc_stamper(solver)
     for iteration in range(1, max_iterations + 1):
-        stamper = circuit.stamp_dc(voltages, temperature, gmin=gmin)
+        circuit.stamp_dc(voltages, temperature, gmin=gmin, stamper=stamper)
         try:
             new_voltages = stamper.solve()
         except np.linalg.LinAlgError:
-            new_voltages = stamper.solve_lstsq()
+            try:
+                new_voltages = stamper.solve_lstsq()
+            except np.linalg.LinAlgError:
+                # lstsq's SVD can itself diverge on a non-finite system;
+                # bail out rather than poison the next gmin step's warm start.
+                return voltages, False, iteration
         if not np.all(np.isfinite(new_voltages)):
             return voltages, False, iteration
         delta = new_voltages - voltages
@@ -84,7 +127,7 @@ _RESCUE_MAX_FAILED_STEPS = 2
 def _gmin_ladder(circuit: Circuit, start: np.ndarray, temperature: float,
                  gmin_steps: tuple[float, ...], max_iterations: int,
                  tolerance: float, damping: float,
-                 max_failed_steps: int | None = None,
+                 max_failed_steps: int | None = None, solver: str = "dense",
                  ) -> tuple[np.ndarray, bool, int]:
     """Run Newton down a gmin ladder, warm-starting each step.
 
@@ -99,7 +142,7 @@ def _gmin_ladder(circuit: Circuit, start: np.ndarray, temperature: float,
     for gmin in gmin_steps:
         voltages, converged, used = _newton_solve(
             circuit, voltages, temperature, gmin, max_iterations, tolerance,
-            damping)
+            damping, solver=solver)
         total_iterations += used
         if not converged:
             failed_steps += 1
@@ -115,7 +158,7 @@ def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
                        gmin_steps: tuple[float, ...] = (1e-2, 1e-4, 1e-6, 1e-9, 1e-12),
                        initial_guess: np.ndarray | None = None,
                        raise_on_failure: bool = False,
-                       rescue: bool = True) -> OperatingPoint:
+                       rescue: bool = True, solver: str = "auto") -> OperatingPoint:
     """Find the DC operating point of ``circuit``.
 
     gmin stepping: the circuit is first solved with a large conductance from
@@ -140,6 +183,7 @@ def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
     """
     circuit.ensure_indices()
     size = circuit.n_nodes + circuit.n_branches
+    solver = _resolve_solver(size, solver)
     start = np.zeros(size) if initial_guess is None else np.asarray(
         initial_guess, dtype=float).copy()
     if start.shape[0] != size:
@@ -147,12 +191,12 @@ def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
 
     voltages, converged, total_iterations = _gmin_ladder(
         circuit, start.copy(), temperature, tuple(gmin_steps),
-        max_iterations, tolerance, damping)
+        max_iterations, tolerance, damping, solver=solver)
     if not converged and rescue:
         rescued, converged, used = _gmin_ladder(
             circuit, start.copy(), temperature, _RESCUE_GMIN_STEPS,
             _RESCUE_MAX_ITERATIONS, tolerance, _RESCUE_DAMPING,
-            max_failed_steps=_RESCUE_MAX_FAILED_STEPS)
+            max_failed_steps=_RESCUE_MAX_FAILED_STEPS, solver=solver)
         total_iterations += used
         if converged:
             voltages = rescued
@@ -168,3 +212,332 @@ def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
     return OperatingPoint(voltages=voltages, node_voltages=node_voltages,
                           device_info=device_info, converged=converged,
                           iterations=total_iterations, temperature=temperature)
+
+
+# --------------------------------------------------------------------- #
+# batched Newton                                                         #
+# --------------------------------------------------------------------- #
+def _check_batch_topology(circuits: list[Circuit]) -> None:
+    """Verify that every circuit in the batch is topology-identical.
+
+    Batched assembly stacks per-design values on shared (row, col) slots, so
+    the circuits must agree on node/branch layout and on the device sequence
+    (classes, names and resolved indices); only parameter *values* may
+    differ.
+    """
+    first = circuits[0]
+    first.ensure_indices()
+    for circuit in circuits[1:]:
+        circuit.ensure_indices()
+        if (circuit.n_nodes != first.n_nodes
+                or circuit.n_branches != first.n_branches
+                or circuit.nodes != first.nodes
+                or len(circuit.devices) != len(first.devices)):
+            raise NetlistError(
+                f"batched DC analysis needs topology-identical circuits: "
+                f"{circuit.title!r} does not match {first.title!r}")
+        for reference, device in zip(first.devices, circuit.devices):
+            if (type(device) is not type(reference)
+                    or device.name != reference.name
+                    or device.node_indices != reference.node_indices
+                    or device.branch_indices != reference.branch_indices):
+                raise NetlistError(
+                    f"batched DC analysis needs topology-identical circuits: "
+                    f"device {device.name!r} of {circuit.title!r} does not "
+                    f"match {first.title!r}")
+
+
+class _BatchAssembler:
+    """Assembles the batched DC system for any active subset of designs.
+
+    Built once per batched solve: transposes the batch into per-device
+    sibling columns, precomputes each device's vectorized context over the
+    *full* batch, and then stamps arbitrary active sub-batches by slicing
+    those contexts row-wise -- convergence masking never re-derives model
+    constants.
+    """
+
+    def __init__(self, circuits: list[Circuit], temperatures: np.ndarray,
+                 solver: str):
+        first = circuits[0]
+        self.n_nodes = first.n_nodes
+        self.n_branches = first.n_branches
+        self.size = self.n_nodes + self.n_branches
+        self.temperatures = temperatures
+        self.solver = solver
+        self.columns = [tuple(circuit.devices[position] for circuit in circuits)
+                        for position in range(len(first.devices))]
+        self.contexts = [column[0].dc_batch_context(list(column), temperatures)
+                         for column in self.columns]
+        # Fusion plan: maximal runs of >=2 consecutive same-class fusable
+        # columns stamp through one fused kernel (one model evaluation over
+        # all rows), everything else stamps per column.  Only *consecutive*
+        # columns fuse, and the fused kernel stamps rows in original order,
+        # so per-cell accumulation order -- and therefore bitwise results --
+        # match the serial device loop exactly.
+        self.plan: list[tuple[str, int]] = []
+        self.fused: list[tuple[type, list, dict, dict]] = []
+        run: list[int] = []
+
+        def flush() -> None:
+            if len(run) >= 2:
+                devices = [self.columns[position][0] for position in run]
+                cls = type(devices[0])
+                params = {key: np.stack([self.contexts[position][key]
+                                         for position in run])
+                          for key in self.contexts[run[0]]}
+                self.plan.append(("fused", len(self.fused)))
+                self.fused.append((cls, devices,
+                                   cls.dc_batch_fused_layout(devices), params))
+            else:
+                self.plan.extend(("column", position) for position in run)
+            run.clear()
+
+        for position, (column, context) in enumerate(zip(self.columns,
+                                                         self.contexts)):
+            fusable = (context is not None
+                       and getattr(column[0], "dc_batch_fusable", False))
+            if not fusable:
+                flush()
+                self.plan.append(("column", position))
+                continue
+            if run and type(self.columns[run[-1]][0]) is not type(column[0]):
+                flush()
+            run.append(position)
+        flush()
+        # Sub-batch gathers are memoized: the active set only shrinks a
+        # handful of times per ladder, while stamping runs every iteration.
+        self._gather_cache: dict[bytes, tuple] = {}
+        self._dense_stamper: BatchStamper | None = None
+
+    def _gather(self, indices: np.ndarray) -> tuple:
+        key = indices.tobytes()
+        cached = self._gather_cache.get(key)
+        if cached is None:
+            index_list = indices.tolist()
+            siblings = [[column[i] for i in index_list]
+                        for column in self.columns]
+            contexts = [None if context is None
+                        else {name: values[indices]
+                              for name, values in context.items()}
+                        for context in self.contexts]
+            temperatures = self.temperatures[indices]
+            fused_params = [{name: values[:, indices]
+                             for name, values in params.items()}
+                            for _, _, _, params in self.fused]
+            cached = (siblings, contexts, temperatures, fused_params)
+            self._gather_cache[key] = cached
+        return cached
+
+    def assemble(self, indices: np.ndarray, voltages: np.ndarray, gmin: float):
+        """Stamp the active sub-batch ``indices`` at trial ``voltages``."""
+        batch_size = len(indices)
+        if self.solver == "sparse":
+            stamper = SparseBatchStamper(batch_size, self.n_nodes,
+                                         self.n_branches)
+        else:
+            stamper = self._dense_stamper
+            if stamper is None or stamper.batch_size != batch_size:
+                stamper = BatchStamper(batch_size, self.n_nodes,
+                                       self.n_branches)
+                self._dense_stamper = stamper
+            else:
+                stamper.reset()
+        siblings, contexts, temperatures, fused_params = self._gather(indices)
+        # One errstate frame for the whole stamp loop: device models produce
+        # benign overflows/invalids on NaN trial voltages, and entering a
+        # context manager per device per iteration is measurable overhead.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for kind, ref in self.plan:
+                if kind == "column":
+                    self.columns[ref][0].stamp_dc_batch(
+                        stamper, siblings[ref], voltages, temperatures,
+                        contexts[ref])
+                else:
+                    cls, devices, layout, _ = self.fused[ref]
+                    cls.stamp_dc_batch_fused(stamper, devices, layout,
+                                             fused_params[ref], voltages)
+        if gmin > 0.0:
+            stamper.add_gmin(gmin)
+        return stamper
+
+
+def _solve_rows_individually(stamper, size: int) -> np.ndarray:
+    """Per-design solve fallback once the stacked solve hits a singular design.
+
+    Replicates the serial solver chain per design -- direct solve, then
+    least-squares, then give up (a NaN row, which the finite check freezes
+    exactly like the serial bail-out).
+    """
+    out = np.empty((stamper.batch_size, size))
+    for b in range(stamper.batch_size):
+        try:
+            out[b] = stamper.solve_design(b)
+        except np.linalg.LinAlgError:
+            try:
+                out[b] = stamper.solve_lstsq_design(b)
+            except np.linalg.LinAlgError:
+                out[b] = np.nan
+    return out
+
+
+def _newton_solve_batch(assembler: _BatchAssembler, voltages: np.ndarray,
+                        indices: np.ndarray, gmin: float, max_iterations: int,
+                        tolerance: float, damping: float,
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Damped Newton on the designs ``indices`` at a fixed gmin level.
+
+    Updates the full-batch ``voltages`` rows in place and returns
+    ``(converged, iterations)`` arrays aligned with ``indices``.  Designs
+    freeze the moment their serial counterpart would stop -- after applying
+    the final damped step on convergence, *before* applying anything on a
+    non-finite solution -- so warm starts for the next ladder step are
+    bit-identical to serial.
+    """
+    converged = np.zeros(len(indices), dtype=bool)
+    iterations = np.zeros(len(indices), dtype=int)
+    alive = np.arange(len(indices))
+    for iteration in range(1, max_iterations + 1):
+        active = indices[alive]
+        stamper = assembler.assemble(active, voltages[active], gmin)
+        try:
+            new_voltages = stamper.solve()
+        except np.linalg.LinAlgError:
+            new_voltages = _solve_rows_individually(stamper, assembler.size)
+        finite = np.isfinite(new_voltages).all(axis=1)
+        iterations[alive[~finite]] = iteration
+        current = voltages[active]
+        delta = new_voltages - current
+        step = np.clip(delta, -damping, damping)
+        # Rows with non-finite deltas compare False here and are already
+        # excluded by ``finite``; NaNs propagate through max without noise.
+        below_tolerance = np.max(np.abs(delta), axis=1) < tolerance
+        updated = alive[finite]
+        voltages[indices[updated]] = (current + step)[finite]
+        newly_converged = finite & below_tolerance
+        converged[alive[newly_converged]] = True
+        iterations[alive[newly_converged]] = iteration
+        alive = alive[finite & ~below_tolerance]
+        if alive.size == 0:
+            return converged, iterations
+    iterations[alive] = max_iterations
+    return converged, iterations
+
+
+def _gmin_ladder_batch(assembler: _BatchAssembler, voltages: np.ndarray,
+                       indices: np.ndarray, gmin_steps: tuple[float, ...],
+                       max_iterations: int, tolerance: float, damping: float,
+                       max_failed_steps: int | None = None,
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """The serial gmin ladder over a batch of designs.
+
+    Mirrors :func:`_gmin_ladder` per design: every design runs *every*
+    ladder step (warm-started from its previous step) regardless of earlier
+    convergence, ``converged`` reports the final step's outcome, and
+    ``max_failed_steps`` retires designs whose failure count exceeds it.
+    """
+    converged = np.zeros(len(indices), dtype=bool)
+    total_iterations = np.zeros(len(indices), dtype=int)
+    failed_steps = np.zeros(len(indices), dtype=int)
+    on_ladder = np.ones(len(indices), dtype=bool)
+    for gmin in gmin_steps:
+        positions = np.nonzero(on_ladder)[0]
+        if positions.size == 0:
+            break
+        step_converged, used = _newton_solve_batch(
+            assembler, voltages, indices[positions], gmin, max_iterations,
+            tolerance, damping)
+        total_iterations[positions] += used
+        converged[positions] = step_converged
+        failed = positions[~step_converged]
+        failed_steps[failed] += 1
+        if max_failed_steps is not None:
+            on_ladder[failed[failed_steps[failed] > max_failed_steps]] = False
+    return converged, total_iterations
+
+
+def dc_operating_point_batch(circuits, temperature=27.0,
+                             max_iterations: int = 150,
+                             tolerance: float = 1e-9, damping: float = 0.5,
+                             gmin_steps: tuple[float, ...] = (1e-2, 1e-4, 1e-6, 1e-9, 1e-12),
+                             initial_guess: np.ndarray | None = None,
+                             raise_on_failure: bool = False,
+                             rescue: bool = True, solver: str = "auto",
+                             ) -> list[OperatingPoint]:
+    """DC operating points of ``B`` topology-identical circuits at once.
+
+    The whole batch walks the gmin ladder together: each Newton iteration
+    assembles one ``(B, size, size)`` tensor (devices with a vectorized
+    ``stamp_dc_batch`` fill all designs per stamp; the rest fall back to
+    per-design stamping into batch slices) and one stacked solve advances
+    every still-active design.  Converged designs freeze while stragglers
+    iterate, and the rescue ladder runs only on the failed sub-batch, so the
+    work tracks the hardest design rather than the batch size.
+
+    ``temperature`` may be a scalar or a length-``B`` array (per-design
+    corner temperatures).  Results are bit-identical to calling
+    :func:`dc_operating_point` per circuit with the same ``solver``.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        return []
+    _check_batch_topology(circuits)
+    first = circuits[0]
+    size = first.n_nodes + first.n_branches
+    batch_size = len(circuits)
+    solver = _resolve_solver(size, solver)
+    temperatures = np.asarray(temperature, dtype=float)
+    if temperatures.ndim == 0:
+        temperatures = np.full(batch_size, float(temperatures))
+    elif temperatures.shape != (batch_size,):
+        raise ValueError(f"temperature must be a scalar or have shape "
+                         f"({batch_size},), got {temperatures.shape}")
+    if initial_guess is None:
+        start = np.zeros((batch_size, size))
+    else:
+        start = np.asarray(initial_guess, dtype=float).copy()
+        if start.shape != (batch_size, size):
+            raise ValueError(f"initial_guess must have shape "
+                             f"({batch_size}, {size}), got {start.shape}")
+
+    assembler = _BatchAssembler(circuits, temperatures, solver)
+    indices = np.arange(batch_size)
+    voltages = start.copy()
+    converged, total_iterations = _gmin_ladder_batch(
+        assembler, voltages, indices, tuple(gmin_steps), max_iterations,
+        tolerance, damping)
+    if rescue and not converged.all():
+        failed = indices[~converged]
+        # The rescue ladder restarts the failed designs from the original
+        # start, on a scratch copy: like the serial driver, a failed rescue
+        # leaves the standard ladder's best solution in place.
+        rescue_voltages = voltages.copy()
+        rescue_voltages[failed] = start[failed]
+        rescue_converged, used = _gmin_ladder_batch(
+            assembler, rescue_voltages, failed, _RESCUE_GMIN_STEPS,
+            _RESCUE_MAX_ITERATIONS, tolerance, _RESCUE_DAMPING,
+            max_failed_steps=_RESCUE_MAX_FAILED_STEPS)
+        total_iterations[failed] += used
+        rescued = failed[rescue_converged]
+        voltages[rescued] = rescue_voltages[rescued]
+        converged[rescued] = True
+    if raise_on_failure and not converged.all():
+        titles = [circuits[i].title for i in indices[~converged]]
+        raise ConvergenceError(
+            f"batched DC analysis: {len(titles)} of {batch_size} designs did "
+            f"not converge (first failure: {titles[0]!r})")
+
+    results = []
+    for b, circuit in enumerate(circuits):
+        solution = voltages[b].copy()
+        celsius = float(temperatures[b])
+        node_voltages = {name: float(solution[index])
+                         for name, index in zip(circuit.nodes,
+                                                range(circuit.n_nodes))}
+        device_info = {device.name: device.operating_info(solution, celsius)
+                       for device in circuit.devices}
+        results.append(OperatingPoint(
+            voltages=solution, node_voltages=node_voltages,
+            device_info=device_info, converged=bool(converged[b]),
+            iterations=int(total_iterations[b]), temperature=celsius))
+    return results

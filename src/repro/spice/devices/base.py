@@ -115,6 +115,53 @@ class Device:
         """Stamp DC (large-signal, linearised) contributions."""
         raise NotImplementedError
 
+    # -- batched DC ----------------------------------------------------- #
+    def dc_batch_context(self, siblings, temperatures: np.ndarray):
+        """Precompute per-design constants for :meth:`stamp_dc_batch`.
+
+        ``siblings[b]`` is this device's counterpart in design ``b`` of a
+        topology-identical batch (``siblings[0] is self``) and
+        ``temperatures`` is the matching ``(B,)`` array of simulation
+        temperatures.  The returned value must be either ``None`` (no
+        vectorized stamp; the driver falls back to per-design
+        :meth:`stamp_dc`) or a ``dict`` of ``(B,)`` arrays, which the batched
+        Newton driver slices row-wise as designs converge and drop out of the
+        active sub-batch.
+
+        Bit-identity contract: constants that the serial model derives with
+        scalar math (temperature laws, geometry ratios, saturation currents)
+        must be computed here by calling the *same scalar code* once per
+        sibling -- general ``array ** exponent`` is not bit-identical to the
+        scalar power it replaces.  Only voltage-dependent elementwise math
+        belongs in :meth:`stamp_dc_batch`.
+        """
+        return None
+
+    def stamp_dc_batch(self, stamper, siblings, voltages: np.ndarray,
+                       temperatures: np.ndarray, context=None) -> None:
+        """Stamp DC contributions for a batch of sibling devices at once.
+
+        ``stamper`` is a batch stamper (dense or sparse) accepting scalar or
+        ``(B,)`` values per stamp; ``voltages`` is the ``(B, size)`` matrix of
+        trial solutions and ``context`` is (a row-sliced view of) whatever
+        :meth:`dc_batch_context` returned.  Overrides must accumulate exactly
+        the same additions in the same order as :meth:`stamp_dc` does per
+        design, so batched and serial Newton iterates stay bit-identical.
+
+        The base implementation is the automatic per-design fallback: each
+        sibling stamps through a serial view of its slice of the batch.
+        """
+        stamper.stamp_device_serial(siblings, voltages, temperatures)
+
+    #: whether consecutive device columns of this class may be stamped
+    #: through one fused kernel (``dc_batch_fused_layout`` +
+    #: ``stamp_dc_batch_fused`` classmethods) instead of one
+    #: :meth:`stamp_dc_batch` call per column.  Fusion amortises the
+    #: fixed numpy dispatch cost of the model evaluation over all device
+    #: rows at once; the fused kernel must still accumulate per-cell
+    #: contributions in original device order to stay bit-identical.
+    dc_batch_fusable = False
+
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         """Stamp AC small-signal contributions."""
         raise NotImplementedError
@@ -170,3 +217,9 @@ class TwoTerminal(Device):
         pos = 0.0 if self.positive_index < 0 else voltages[self.positive_index]
         neg = 0.0 if self.negative_index < 0 else voltages[self.negative_index]
         return float(pos - neg)
+
+    def voltage_across_batch(self, voltages: np.ndarray):
+        """Per-design terminal voltage difference for a ``(B, size)`` batch."""
+        pos = 0.0 if self.positive_index < 0 else voltages[:, self.positive_index]
+        neg = 0.0 if self.negative_index < 0 else voltages[:, self.negative_index]
+        return pos - neg

@@ -79,6 +79,37 @@ class Diode(TwoTerminal):
         stamper.add_conductance(pos, neg, conductance)
         stamper.add_current(pos, neg, equivalent)
 
+    def dc_batch_context(self, siblings, temperatures):
+        # The temperature laws use general powers (``ratio**3`` is fine, but
+        # the Arrhenius exponential feeds on scalar divisions); evaluate the
+        # exact scalar model once per design so batched and serial runs share
+        # every bit.
+        count = len(siblings)
+        n_vt = np.empty(count)
+        i_sat = np.empty(count)
+        for b, (device, temp) in enumerate(zip(siblings, temperatures)):
+            t_celsius = float(temp)
+            n_vt[b] = device.emission_coefficient * thermal_voltage(t_celsius + 273.15)
+            i_sat[b] = device._saturation_current_at(t_celsius)
+        return {"n_vt": n_vt, "i_sat": i_sat}
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        if context is None:
+            context = self.dc_batch_context(siblings, temperatures)
+        n_vt = context["n_vt"]
+        i_sat = context["i_sat"]
+        v = self.voltage_across_batch(voltages)
+        # Elementwise transcription of current_and_conductance.
+        arg = np.clip(v / n_vt, -80.0, 80.0)
+        exp_term = np.exp(arg)
+        current = i_sat * (exp_term - 1.0)
+        conductance = i_sat * exp_term / n_vt + 1e-12
+        equivalent = current - conductance * v
+        pos, neg = self.positive_index, self.negative_index
+        stamper.add_conductance(pos, neg, conductance)
+        stamper.add_current(pos, neg, equivalent)
+
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         info = operating_point.device_info.get(self.name, {})
         conductance = info.get("gd", 1e-12)

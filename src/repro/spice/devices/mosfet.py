@@ -136,6 +136,51 @@ def square_law(model: MosfetModel, width: float, length: float,
                                 cgs=float(cgs), cgd=float(cgd))
 
 
+def _square_law_batch(vth: np.ndarray, beta: np.ndarray, lam: np.ndarray,
+                      vgs: np.ndarray, vds: np.ndarray,
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized ``(ids, gm, gds)`` of :func:`square_law` over a batch.
+
+    An operation-for-operation transcription of the scalar model: every lane
+    lands in the same region branch as the scalar code (NaN trial voltages
+    fall through to saturation in both) and evaluates the exact expressions
+    of that branch, so the selected values are bit-identical to per-design
+    scalar evaluation.  Note the scalar cutoff branch returns its ``gm`` and
+    ``gds`` *without* the ``max(gm, 1e-15)`` / ``max(gds, 1e-12)`` floors --
+    the floors here apply only to the triode/saturation selection.
+    """
+    vov = vgs - vth
+    vds = np.maximum(vds, 0.0)
+    cutoff = vov <= 0.0
+    triode = vds < vov
+    # Callers (the batch assembler / stamp_dc_batch) run under an errstate
+    # that silences the overflows and invalids NaN trial voltages produce.
+    # float_power, not ** : the array squaring fast path multiplies, while
+    # Python's scalar ``x ** 2`` goes through libm pow -- they can disagree
+    # in the last ulp, which bit-identity cannot afford.  Repeated
+    # subexpressions of the scalar branches are hoisted: recomputation is
+    # bit-deterministic, so sharing the result changes nothing.
+    vds_sq = np.float_power(vds, 2)
+    vov_sq = np.float_power(vov, 2)
+    channel_mod = 1.0 + lam * vds
+    tri_curve = vov * vds - 0.5 * vds_sq
+    ids_cut = 1e-12 * np.exp(np.minimum(np.maximum(vov / 0.08, -60.0), 0.0)) * channel_mod
+    gm_cut = ids_cut / 0.08
+    ids_tri = beta * tri_curve * channel_mod
+    gm_tri = beta * vds * channel_mod
+    gds_tri = beta * (vov - vds) * channel_mod + beta * tri_curve * lam
+    half_beta_vov_sq = 0.5 * beta * vov_sq
+    ids_sat = half_beta_vov_sq * channel_mod
+    gm_sat = beta * vov * channel_mod
+    gds_sat = half_beta_vov_sq * lam + 1e-12
+    ids = np.where(cutoff, ids_cut, np.where(triode, ids_tri, ids_sat))
+    gm = np.where(cutoff, gm_cut,
+                  np.maximum(np.where(triode, gm_tri, gm_sat), 1e-15))
+    gds = np.where(cutoff, 1e-9,
+                   np.maximum(np.where(triode, gds_tri, gds_sat), 1e-12))
+    return ids, gm, gds
+
+
 class Mosfet(Device):
     """A four-terminal MOSFET (drain, gate, source, bulk).
 
@@ -212,6 +257,136 @@ class Mosfet(Device):
         stamper.add_entry(source, source, -d_vs)
         equivalent = i_ds - (d_vd * v_d + d_vg * v_g + d_vs * v_s)
         stamper.add_current(drain, source, equivalent)
+
+    def dc_batch_context(self, siblings, temperatures):
+        # Temperature/geometry constants via the exact scalar model per
+        # design: the mobility law's general power is not bit-reproducible
+        # when vectorized, so only voltage-dependent math is batched.
+        if any(d.model.polarity != self.model.polarity for d in siblings):
+            return None  # mixed polarity: fall back to per-design stamping
+        count = len(siblings)
+        vth = np.empty(count)
+        beta = np.empty(count)
+        lam = np.empty(count)
+        for b, (device, temp) in enumerate(zip(siblings, temperatures)):
+            t_celsius = float(temp)
+            model = device.model
+            vth[b] = model.vth_at(t_celsius)
+            kp = model.kp_at(t_celsius)
+            beta[b] = kp * device.width / max(device.length, 1e-9)
+            lam[b] = model.effective_lambda(device.length)
+        return {"vth": vth, "beta": beta, "lam": lam}
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        if context is None:
+            context = self.dc_batch_context(siblings, temperatures)
+        if context is None:
+            stamper.stamp_device_serial(siblings, voltages, temperatures)
+            return
+        drain, gate, source, _ = self.node_indices
+        v_d = 0.0 if drain < 0 else voltages[:, drain]
+        v_g = 0.0 if gate < 0 else voltages[:, gate]
+        v_s = 0.0 if source < 0 else voltages[:, source]
+        # Vectorized drain/source swap: ``forward`` lanes evaluate the model
+        # with the same arguments as the scalar branches, and the derivative
+        # tuple mapping is shared by both polarities (see
+        # _ids_and_derivatives).
+        if self.model.polarity == "nmos":
+            forward = v_d >= v_s
+            vgs = np.where(forward, v_g - v_s, v_g - v_d)
+            vds = np.where(forward, v_d - v_s, v_s - v_d)
+        else:
+            forward = v_s >= v_d
+            vgs = np.where(forward, v_s - v_g, v_d - v_g)
+            vds = np.where(forward, v_s - v_d, v_d - v_s)
+        ids, gm, gds = _square_law_batch(context["vth"], context["beta"],
+                                         context["lam"], vgs, vds)
+        if self.model.polarity == "nmos":
+            i_ds = np.where(forward, ids, -ids)
+        else:
+            i_ds = np.where(forward, -ids, ids)
+        d_vd = np.where(forward, gds, gm + gds)
+        d_vg = np.where(forward, gm, -gm)
+        d_vs = np.where(forward, -(gm + gds), -gds)
+        stamper.add_entry(drain, drain, d_vd)
+        stamper.add_entry(drain, gate, d_vg)
+        stamper.add_entry(drain, source, d_vs)
+        stamper.add_entry(source, drain, -d_vd)
+        stamper.add_entry(source, gate, -d_vg)
+        stamper.add_entry(source, source, -d_vs)
+        equivalent = i_ds - (d_vd * v_d + d_vg * v_g + d_vs * v_s)
+        stamper.add_current(drain, source, equivalent)
+
+    # ------------------------------------------------------------------ #
+    # fused stamping of consecutive mosfet columns                        #
+    # ------------------------------------------------------------------ #
+    dc_batch_fusable = True
+
+    @classmethod
+    def dc_batch_fused_layout(cls, devices) -> dict:
+        """Static per-row layout for a fused stamp of mosfet columns.
+
+        ``devices`` are the first design's devices of each fused column, in
+        original netlist order; indices are topology-invariant across the
+        batch.  ``sign`` is +1 for NMOS rows and -1 for PMOS rows: negating
+        ``v_a - v_b`` is exact, so one signed kernel reproduces both
+        polarity branches of :meth:`_ids_and_derivatives` bit-for-bit.
+        """
+        nmos = np.array([device.model.polarity == "nmos"
+                         for device in devices])
+        return {
+            "drain": np.array([device.node_indices[0] for device in devices]),
+            "gate": np.array([device.node_indices[1] for device in devices]),
+            "source": np.array([device.node_indices[2] for device in devices]),
+            "nmos": nmos[:, None],
+            "sign": np.where(nmos, 1.0, -1.0)[:, None],
+        }
+
+    @staticmethod
+    def _gather_rows(voltages: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """``(D, B)`` terminal voltages; grounded rows read exactly 0.0."""
+        values = voltages[:, indices].T  # fancy indexing copies: writable
+        grounded = indices < 0
+        if grounded.any():
+            values[grounded] = 0.0
+        return values
+
+    @classmethod
+    def stamp_dc_batch_fused(cls, stamper, devices, layout: dict,
+                             params: dict, voltages: np.ndarray) -> None:
+        """Stamp ``D`` consecutive mosfet columns with one model evaluation.
+
+        Evaluates the square law once on ``(D, B)`` tensors -- elementwise
+        numpy ops are position-independent, so each row's values are
+        bit-identical to a per-column :meth:`stamp_dc_batch` -- and then
+        stamps row by row in original device order, preserving the per-cell
+        accumulation order the serial stamp loop would produce.
+        """
+        v_d = cls._gather_rows(voltages, layout["drain"])
+        v_g = cls._gather_rows(voltages, layout["gate"])
+        v_s = cls._gather_rows(voltages, layout["source"])
+        sign = layout["sign"]
+        forward = np.where(layout["nmos"], v_d >= v_s, v_s >= v_d)
+        vgs = sign * np.where(forward, v_g - v_s, v_g - v_d)
+        vds = sign * np.where(forward, v_d - v_s, v_s - v_d)
+        ids, gm, gds = _square_law_batch(params["vth"], params["beta"],
+                                         params["lam"], vgs, vds)
+        i_ds = sign * np.where(forward, ids, -ids)
+        gm_gds = gm + gds
+        d_vd = np.where(forward, gds, gm_gds)
+        d_vg = np.where(forward, gm, -gm)
+        d_vs = np.where(forward, -gm_gds, -gds)
+        equivalent = i_ds - (d_vd * v_d + d_vg * v_g + d_vs * v_s)
+        for row, device in enumerate(devices):
+            drain, gate, source, _ = device.node_indices
+            stamper.add_entry(drain, drain, d_vd[row])
+            stamper.add_entry(drain, gate, d_vg[row])
+            stamper.add_entry(drain, source, d_vs[row])
+            stamper.add_entry(source, drain, -d_vd[row])
+            stamper.add_entry(source, gate, -d_vg[row])
+            stamper.add_entry(source, source, -d_vs[row])
+            stamper.add_current(drain, source, equivalent[row])
 
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         drain, gate, source, _ = self.node_indices

@@ -27,6 +27,16 @@ class Resistor(TwoTerminal):
         stamper.add_conductance(self.positive_index, self.negative_index,
                                 self.conductance)
 
+    def dc_batch_context(self, siblings, temperatures):
+        return {"conductance": np.array([d.conductance for d in siblings])}
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        if context is None:
+            context = self.dc_batch_context(siblings, temperatures)
+        stamper.add_conductance(self.positive_index, self.negative_index,
+                                context["conductance"])
+
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         stamper.add_conductance(self.positive_index, self.negative_index,
                                 self.conductance)
@@ -45,6 +55,11 @@ class Capacitor(TwoTerminal):
 
     def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
         # Open circuit at DC; nothing to stamp.
+        return
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        # Open circuit at DC for every design in the batch.
         return
 
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
@@ -96,6 +111,11 @@ class Inductor(TwoTerminal):
         self._stamp_branch_kcl(stamper)
         stamper.add_entry(branch, self.positive_index, 1.0)
         stamper.add_entry(branch, self.negative_index, -1.0)
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        # The DC short stamps are value-free, hence identical across designs.
+        self.stamp_dc(stamper, None, 0.0)
 
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         # Branch equation v_pos - v_neg - j*omega*L * i = 0 (affine in omega).

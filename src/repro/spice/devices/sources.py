@@ -185,6 +185,16 @@ class VoltageSource(TwoTerminal):
     def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
         self._stamp_branch(stamper, self.dc)
 
+    def dc_batch_context(self, siblings, temperatures):
+        # The DC value varies across the batch (e.g. per-corner supply scaling).
+        return {"dc": np.array([d.dc for d in siblings])}
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        if context is None:
+            context = self.dc_batch_context(siblings, temperatures)
+        self._stamp_branch(stamper, context["dc"])
+
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         self._stamp_branch(stamper, self.ac)
 
@@ -220,6 +230,16 @@ class CurrentSource(TwoTerminal):
     def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
         stamper.add_current(self.positive_index, self.negative_index, self.dc)
 
+    def dc_batch_context(self, siblings, temperatures):
+        return {"dc": np.array([d.dc for d in siblings])}
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        if context is None:
+            context = self.dc_batch_context(siblings, temperatures)
+        stamper.add_current(self.positive_index, self.negative_index,
+                            context["dc"])
+
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         stamper.add_current(self.positive_index, self.negative_index, self.ac)
 
@@ -243,6 +263,17 @@ class VCCS(Device):
     def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
         out_p, out_n, ctrl_p, ctrl_n = self.node_indices
         stamper.add_transconductance(out_p, out_n, ctrl_p, ctrl_n, self.gm)
+
+    def dc_batch_context(self, siblings, temperatures):
+        return {"gm": np.array([d.gm for d in siblings])}
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        if context is None:
+            context = self.dc_batch_context(siblings, temperatures)
+        out_p, out_n, ctrl_p, ctrl_n = self.node_indices
+        stamper.add_transconductance(out_p, out_n, ctrl_p, ctrl_n,
+                                     context["gm"])
 
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         out_p, out_n, ctrl_p, ctrl_n = self.node_indices
@@ -271,6 +302,23 @@ class VCVS(Device):
 
     def stamp_dc(self, stamper, voltages: np.ndarray, temperature: float) -> None:
         self._stamp(stamper)
+
+    def dc_batch_context(self, siblings, temperatures):
+        return {"mu": np.array([d.mu for d in siblings])}
+
+    def stamp_dc_batch(self, stamper, siblings, voltages, temperatures,
+                       context=None) -> None:
+        if context is None:
+            context = self.dc_batch_context(siblings, temperatures)
+        mu = context["mu"]
+        out_p, out_n, ctrl_p, ctrl_n = self.node_indices
+        branch = self.branch_indices[0]
+        stamper.add_entry(out_p, branch, 1.0)
+        stamper.add_entry(out_n, branch, -1.0)
+        stamper.add_entry(branch, out_p, 1.0)
+        stamper.add_entry(branch, out_n, -1.0)
+        stamper.add_entry(branch, ctrl_p, -mu)
+        stamper.add_entry(branch, ctrl_n, mu)
 
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         self._stamp(stamper)

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.errors import NetlistError
 from repro.spice.devices.base import Device
-from repro.spice.mna import Stamper
+from repro.spice.mna import SparseStamper, Stamper
 
 GROUND = "0"
 _GROUND_ALIASES = {"0", "gnd", "gnd!", "vss"}
@@ -128,10 +128,25 @@ class Circuit:
         self.ensure_indices()
         return Stamper(self.n_nodes, self.n_branches, dtype=dtype)
 
+    def make_dc_stamper(self, solver: str = "dense"):
+        """A reusable DC stamper: dense :class:`Stamper` or :class:`SparseStamper`."""
+        self.ensure_indices()
+        if solver == "sparse":
+            return SparseStamper(self.n_nodes, self.n_branches)
+        return Stamper(self.n_nodes, self.n_branches, dtype=float)
+
     def stamp_dc(self, voltages: np.ndarray, temperature: float,
-                 gmin: float = 0.0) -> Stamper:
-        """Assemble the (linearised) DC system at trial node voltages."""
-        stamper = self.make_stamper(dtype=float)
+                 gmin: float = 0.0, stamper=None):
+        """Assemble the (linearised) DC system at trial node voltages.
+
+        ``stamper`` (optional) is a previously created DC stamper to reuse --
+        it is reset and restamped in place, so Newton iterations avoid
+        reallocating the matrix/rhs buffers every pass.
+        """
+        if stamper is None:
+            stamper = self.make_stamper(dtype=float)
+        else:
+            stamper.reset()
         for device in self.devices:
             device.stamp_dc(stamper, voltages, temperature)
         if gmin > 0.0:

@@ -1,0 +1,450 @@
+"""Bit-equivalence suite for the batched-tensor simulation core.
+
+The batched solvers exist purely for throughput: a result produced through
+``dc_operating_point_batch`` / ``ac_analysis_batch`` / ``BatchSimulator`` /
+the ``batched`` execution backend must be **bit-identical** to its serial
+counterpart -- converged flags, iteration counts, raw voltage vectors,
+metric dictionaries and session counters alike.  This suite enforces that
+over every registry circuit on both technology nodes, for good and random
+(often failing, rescue-ladder-exercising) designs, on the dense and the
+sparse solver paths, and through each batched integration point: the
+evaluation engine, the Monte Carlo runner and the PVT corner sweep.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bench import BatchJobError, BatchSimulator, Simulator
+from repro.circuits import make_problem
+from repro.circuits.base import simulate_checked_batch
+from repro.engine import (
+    BatchedBackend,
+    EvaluationEngine,
+    available_backends,
+    resolve_backend,
+)
+from repro.mc import MonteCarloConfig, MonteCarloRunner
+from repro.mc.samplers import make_sampler
+from repro.spice import (
+    SPARSE_SIZE_THRESHOLD,
+    BatchStamper,
+    Circuit,
+    CurrentSource,
+    Resistor,
+    SparseBatchStamper,
+    SparseStamper,
+    Stamper,
+    VoltageSource,
+    ac_analysis,
+    ac_analysis_batch,
+    dc_operating_point,
+    dc_operating_point_batch,
+)
+
+GOOD_DESIGNS = {
+    "two_stage_opamp": dict(w_diff=20e-6, l_diff=0.5e-6, w_load=10e-6,
+                            l_load=0.5e-6, w_out=60e-6, l_out=0.3e-6,
+                            c_comp=2e-12, r_zero=2e3, i_bias1=20e-6,
+                            i_bias2=100e-6),
+    "two_stage_opamp_settling": dict(w_diff=20e-6, l_diff=0.5e-6, w_load=10e-6,
+                                     l_load=0.5e-6, w_out=60e-6, l_out=0.3e-6,
+                                     c_comp=2e-12, r_zero=2e3, i_bias1=20e-6,
+                                     i_bias2=100e-6),
+    "three_stage_opamp": dict(w_diff=20e-6, l_diff=0.5e-6, w_load=10e-6,
+                              l_load=0.5e-6, w_mid=30e-6, l_mid=0.35e-6,
+                              w_out=80e-6, l_out=0.25e-6, c_m1=2e-12,
+                              c_m2=0.5e-12, i_bias1=10e-6, i_bias23=80e-6),
+    "bandgap": dict(r_ptat=100e3, r_out=600e3, w_mirror=10e-6, l_mirror=1e-6,
+                    w_amp_in=5e-6, l_amp_in=0.5e-6, i_amp=1e-6,
+                    area_ratio=8.0),
+}
+
+ALL_CIRCUITS = sorted(GOOD_DESIGNS)
+
+#: AC-only benches, cheap enough for the wider random-design sweeps.
+FAST_CIRCUITS = ["two_stage_opamp", "three_stage_opamp", "bandgap"]
+
+
+def _designs(problem, name, n_random, seed=11):
+    """The good design plus ``n_random`` space samples (some non-convergent)."""
+    rng = np.random.default_rng(seed)
+    rows = problem.design_space.sample(n_random, rng=rng)
+    return [GOOD_DESIGNS[name]] + [problem.design_space.as_dict(row)
+                                   for row in rows]
+
+
+def _builder_batches(problem, designs):
+    """Per-builder circuit batches (a batch must share one topology)."""
+    return {key: [builder(design) for design in designs]
+            for key, builder in problem.bench.builders.items()}
+
+
+def assert_ops_identical(serial, batched):
+    assert serial.converged == batched.converged
+    assert serial.iterations == batched.iterations
+    assert np.array_equal(serial.voltages, batched.voltages,
+                          equal_nan=True)
+    assert serial.node_voltages == batched.node_voltages
+    assert serial.device_info == batched.device_info
+    assert serial.temperature == batched.temperature
+
+
+# ===================================================================== #
+# batched DC vs serial DC                                               #
+# ===================================================================== #
+class TestBatchedDC:
+    @pytest.mark.parametrize("name", ALL_CIRCUITS)
+    @pytest.mark.parametrize("technology", ["180nm", "40nm"])
+    def test_registry_circuits_bit_identical(self, name, technology):
+        problem = make_problem(name, technology=technology)
+        designs = _designs(problem, name, n_random=4)
+        for key, circuits in _builder_batches(problem, designs).items():
+            serial = [dc_operating_point(c) for c in circuits]
+            # Fresh builds: a separate batch over its own circuits proves
+            # independence from serial-solve side effects and build order.
+            batched = dc_operating_point_batch(
+                [problem.bench.builders[key](design) for design in designs])
+            assert len(serial) == len(batched)
+            for op_serial, op_batched in zip(serial, batched):
+                assert_ops_identical(op_serial, op_batched)
+
+    @pytest.mark.parametrize("name", FAST_CIRCUITS)
+    def test_forced_sparse_bit_identical(self, name):
+        problem = make_problem(name)
+        designs = _designs(problem, name, n_random=3, seed=5)
+        for key in problem.bench.builders:
+            build = problem.bench.builders[key]
+            serial = [dc_operating_point(build(design), solver="sparse")
+                      for design in designs]
+            batched = dc_operating_point_batch(
+                [build(design) for design in designs], solver="sparse")
+            for op_serial, op_batched in zip(serial, batched):
+                assert_ops_identical(op_serial, op_batched)
+            # And the sparse path agrees with the default dense one.
+            dense = dc_operating_point_batch(
+                [build(design) for design in designs])
+            for op_sparse, op_dense in zip(batched, dense):
+                assert op_sparse.converged == op_dense.converged
+                assert np.allclose(op_sparse.voltages, op_dense.voltages,
+                                   rtol=1e-9, atol=1e-9, equal_nan=True)
+
+    def test_per_design_temperatures(self):
+        problem = make_problem("two_stage_opamp")
+        design = GOOD_DESIGNS["two_stage_opamp"]
+        builder = problem.bench.builders["main"]
+        temperatures = np.array([-40.0, 27.0, 125.0])
+        serial = [dc_operating_point(builder(design), temperature=t)
+                  for t in temperatures]
+        batched = dc_operating_point_batch(
+            [builder(design) for _ in temperatures], temperature=temperatures)
+        for op_serial, op_batched in zip(serial, batched):
+            assert_ops_identical(op_serial, op_batched)
+
+    def test_topology_mismatch_rejected(self):
+        problem = make_problem("two_stage_opamp")
+        other = make_problem("bandgap")
+        c1 = problem.bench.builders["main"](GOOD_DESIGNS["two_stage_opamp"])
+        c2 = other.bench.builders["main"](GOOD_DESIGNS["bandgap"])
+        from repro.errors import NetlistError
+        with pytest.raises(NetlistError):
+            dc_operating_point_batch([c1, c2])
+
+    def test_auto_solver_picks_sparse_above_threshold(self):
+        # A resistor ladder big enough to cross the sparse threshold: the
+        # auto-selected sparse path must match a forced dense solve.
+        def ladder(n_nodes):
+            circuit = Circuit("ladder")
+            circuit.add(VoltageSource("V1", "n0", "0", dc=1.0))
+            for i in range(n_nodes):
+                circuit.add(Resistor(f"R{i}", f"n{i}", f"n{i + 1}", 1e3))
+            circuit.add(Resistor("RL", f"n{n_nodes}", "0", 1e3))
+            return circuit
+
+        n = SPARSE_SIZE_THRESHOLD + 10
+        auto = dc_operating_point_batch([ladder(n), ladder(n)])
+        dense = dc_operating_point_batch([ladder(n), ladder(n)],
+                                         solver="dense")
+        for op_auto, op_dense in zip(auto, dense):
+            assert op_auto.converged and op_dense.converged
+            assert np.allclose(op_auto.voltages, op_dense.voltages,
+                               rtol=1e-9, atol=1e-12)
+
+
+# ===================================================================== #
+# batched AC vs serial AC                                               #
+# ===================================================================== #
+class TestBatchedAC:
+    @pytest.mark.parametrize("name", FAST_CIRCUITS)
+    @pytest.mark.parametrize("technology", ["180nm", "40nm"])
+    def test_registry_circuits_bit_identical(self, name, technology):
+        problem = make_problem(name, technology=technology)
+        designs = _designs(problem, name, n_random=4)
+        spec = next(s for s in problem.bench.analyses
+                    if type(s).__name__ == "ACSpec")
+        builder = problem.bench.builders[spec.circuit]
+        circuits, ops = [], []
+        for design in designs:
+            circuit = builder(design)
+            op = dc_operating_point(circuit)
+            if op.converged:
+                circuits.append(circuit)
+                ops.append(op)
+        assert circuits, "no converged design to run AC on"
+        frequencies = problem.ac_frequencies
+        serial = [ac_analysis(c, op, frequencies, observe=list(spec.observe))
+                  for c, op in zip(circuits, ops)]
+        batched = ac_analysis_batch(circuits, ops, frequencies,
+                                    observe=list(spec.observe))
+        for res_serial, res_batched in zip(serial, batched):
+            assert np.array_equal(res_serial.frequencies,
+                                  res_batched.frequencies)
+            assert (set(res_serial.node_voltages)
+                    == set(res_batched.node_voltages))
+            for node in res_serial.node_voltages:
+                assert np.array_equal(res_serial.node_voltages[node],
+                                      res_batched.node_voltages[node]), (
+                    name, node)
+
+
+# ===================================================================== #
+# BatchSimulator vs Simulator                                           #
+# ===================================================================== #
+class TestBatchSimulator:
+    @pytest.mark.parametrize("name", ALL_CIRCUITS)
+    def test_good_design_bit_identical(self, name):
+        problem = make_problem(name)
+        bench = problem.bench
+        design = GOOD_DESIGNS[name]
+        serial = Simulator().run(bench, design)
+        batched = BatchSimulator().run([(problem.bench, design)])[0]
+        assert serial.ok == batched.ok
+        assert serial.failure == batched.failure
+        assert serial.metrics == batched.metrics
+        assert serial.stats == batched.stats
+
+    @pytest.mark.parametrize("name", FAST_CIRCUITS)
+    def test_random_designs_bit_identical(self, name):
+        problem = make_problem(name)
+        designs = _designs(problem, name, n_random=6, seed=23)
+        serial = [Simulator().run(problem.bench, design)
+                  for design in designs]
+        batched = BatchSimulator().run([(problem.bench, design)
+                                        for design in designs])
+        for design, res_serial, res_batched in zip(designs, serial, batched):
+            assert not isinstance(res_batched, BatchJobError)
+            assert res_serial.ok == res_batched.ok
+            assert res_serial.failure == res_batched.failure
+            assert res_serial.metrics == res_batched.metrics
+            assert res_serial.stats == res_batched.stats
+
+    def test_mixed_benches_rejected(self):
+        two_stage = make_problem("two_stage_opamp")
+        bandgap = make_problem("bandgap")
+        with pytest.raises(ValueError):
+            BatchSimulator().run([
+                (two_stage.bench, GOOD_DESIGNS["two_stage_opamp"]),
+                (bandgap.bench, GOOD_DESIGNS["bandgap"]),
+            ])
+
+    def test_simulate_checked_batch_mixed_falls_back(self):
+        # The problem-level entry point absorbs the structural mismatch and
+        # produces per-job results identical to serial simulate_checked.
+        two_stage = make_problem("two_stage_opamp")
+        bandgap = make_problem("bandgap")
+        jobs = [(two_stage, GOOD_DESIGNS["two_stage_opamp"]),
+                (bandgap, GOOD_DESIGNS["bandgap"])]
+        results = simulate_checked_batch(jobs)
+        for (problem, design), result in zip(jobs, results):
+            assert result == problem.simulate_checked(design)
+
+
+# ===================================================================== #
+# Monte Carlo: 64-sample batch, per-sample operating points, runner     #
+# ===================================================================== #
+class TestMonteCarloBatched:
+    def test_64_varied_samples_bit_identical_ops(self):
+        problem = make_problem("two_stage_opamp")
+        design = GOOD_DESIGNS["two_stage_opamp"]
+        sampler = make_sampler("normal", problem.mismatch_device_names(),
+                               seed=9, n_max=64)
+        samples = sampler.take(0, 64)
+        varied = [problem.with_variation(sample) for sample in samples]
+        circuits = [p.bench.builders["dc"](design) for p in varied]
+        serial = [dc_operating_point(c) for c in circuits]
+        batched = dc_operating_point_batch(
+            [p.bench.builders["dc"](design) for p in varied])
+        assert len(batched) == 64
+        for op_serial, op_batched in zip(serial, batched):
+            assert_ops_identical(op_serial, op_batched)
+
+    def test_runner_backend_bit_identical(self):
+        design = GOOD_DESIGNS["two_stage_opamp"]
+        config = MonteCarloConfig(n_max=24, n_min=8, batch_size=12, seed=3,
+                                  ci_half_width=None)
+        serial = MonteCarloRunner(config, backend="serial").run(
+            make_problem("two_stage_opamp"), design)
+        batched = MonteCarloRunner(config, backend="batched").run(
+            make_problem("two_stage_opamp"), design)
+        assert serial.estimate == batched.estimate
+        assert serial.stopped_by == batched.stopped_by
+        assert serial.n_failures == batched.n_failures
+        assert serial.per_sample == batched.per_sample
+        assert serial.fingerprints == batched.fingerprints
+
+
+# ===================================================================== #
+# engine + corner integration                                           #
+# ===================================================================== #
+class TestEngineBatched:
+    def test_backend_registered(self):
+        assert "batched" in available_backends()
+        backend = resolve_backend("batched")
+        assert isinstance(backend, BatchedBackend)
+        assert backend.batched is True
+        assert resolve_backend("serial").batched is False
+        # Degraded map semantics stay serial-ordered.
+        assert backend.map(lambda v: v * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_evaluate_batch_bit_identical(self):
+        rng = np.random.default_rng(77)
+        x = make_problem("two_stage_opamp").design_space.sample(6, rng=rng)
+        records = {}
+        for backend in ("serial", "batched"):
+            problem = make_problem("two_stage_opamp")
+            engine = EvaluationEngine(problem, backend=backend, cache=False)
+            with warnings.catch_warnings():
+                # Random rows may include designs whose simulation raises;
+                # both paths must pessimise them identically (and quietly,
+                # as far as this test is concerned).
+                warnings.simplefilter("ignore", RuntimeWarning)
+                records[backend] = engine.evaluate_batch(x)
+        for rec_serial, rec_batched in zip(records["serial"],
+                                           records["batched"]):
+            assert np.array_equal(rec_serial.x, rec_batched.x)
+            assert rec_serial.metrics == rec_batched.metrics
+            assert rec_serial.objective == rec_batched.objective
+            assert rec_serial.feasible == rec_batched.feasible
+            assert rec_serial.violation == rec_batched.violation
+            assert rec_serial.tag == rec_batched.tag
+
+    def test_corner_sweep_bit_identical(self):
+        design = GOOD_DESIGNS["two_stage_opamp"]
+        with make_problem("two_stage_opamp_corners") as serial_problem:
+            serial = serial_problem.simulate(design)
+        with make_problem("two_stage_opamp_corners",
+                          backend="batched") as batched_problem:
+            batched = batched_problem.simulate(design)
+        assert serial == batched
+
+
+# ===================================================================== #
+# stamper units and Newton-driver regressions                           #
+# ===================================================================== #
+class TestStamperUnits:
+    def test_add_gmin_touches_only_node_diagonal(self):
+        stamper = Stamper(n_nodes=3, n_branches=2)
+        stamper.add_gmin(1e-3)
+        expected = np.zeros((5, 5))
+        expected[0, 0] = expected[1, 1] = expected[2, 2] = 1e-3
+        assert np.array_equal(stamper.matrix, expected)
+
+    def test_stamper_buffer_reuse(self):
+        problem = make_problem("two_stage_opamp")
+        circuit = problem.bench.builders["main"](
+            GOOD_DESIGNS["two_stage_opamp"])
+        stamper = circuit.make_dc_stamper()
+        voltages = np.zeros(circuit.n_nodes + circuit.n_branches)
+        circuit.stamp_dc(voltages, 27.0, gmin=1e-3, stamper=stamper)
+        first = stamper.matrix.copy(), stamper.rhs.copy()
+        matrix_buffer, rhs_buffer = stamper.matrix, stamper.rhs
+        # Restamping reuses the same buffers and reproduces the same values.
+        circuit.stamp_dc(voltages, 27.0, gmin=1e-3, stamper=stamper)
+        assert stamper.matrix is matrix_buffer
+        assert stamper.rhs is rhs_buffer
+        assert np.array_equal(stamper.matrix, first[0])
+        assert np.array_equal(stamper.rhs, first[1])
+        # A fresh one-shot stamp agrees with the reused-buffer stamp.
+        one_shot = circuit.stamp_dc(voltages, 27.0, gmin=1e-3)
+        assert np.array_equal(one_shot.matrix, first[0])
+        assert np.array_equal(one_shot.rhs, first[1])
+
+    def test_batch_stamper_accumulates_columns(self):
+        stamper = BatchStamper(batch_size=3, n_nodes=2, n_branches=0)
+        stamper.add_entry(0, 0, np.array([1.0, 2.0, 3.0]))
+        stamper.add_entry(0, 0, 1.0)
+        stamper.add_rhs(1, np.array([0.5, 0.25, 0.125]))
+        assert np.array_equal(stamper.matrix[:, 0, 0],
+                              np.array([2.0, 3.0, 4.0]))
+        assert np.array_equal(stamper.rhs[:, 1],
+                              np.array([0.5, 0.25, 0.125]))
+        # Ground (negative) indices are ignored like in the serial stamper.
+        stamper.add_entry(-1, 0, 9.0)
+        stamper.add_rhs(-1, 9.0)
+        assert np.array_equal(stamper.matrix[:, 0, 0],
+                              np.array([2.0, 3.0, 4.0]))
+
+    def test_sparse_batch_stamper_matches_dense(self):
+        circuit = Circuit("divider")
+        circuit.add(VoltageSource("V1", "in", "0", dc=2.0))
+        circuit.add(Resistor("R1", "in", "out", 1e3))
+        circuit.add(Resistor("R2", "out", "0", 1e3))
+        circuit.add(CurrentSource("I1", "out", "0", dc=1e-4))
+        serial = dc_operating_point(circuit, solver="dense")
+        sparse_serial = dc_operating_point(circuit, solver="sparse")
+        assert serial.converged and sparse_serial.converged
+        np.testing.assert_allclose(serial.voltages, sparse_serial.voltages,
+                                   rtol=1e-12, atol=1e-15)
+        # Sparse-batch is bit-identical to sparse-serial.
+        batched = dc_operating_point_batch([circuit], solver="sparse")[0]
+        assert np.array_equal(sparse_serial.voltages, batched.voltages)
+
+    def test_sparse_stamper_lstsq_on_singular(self):
+        stamper = SparseStamper(n_nodes=2, n_branches=0)
+        stamper.add_entry(0, 0, 1.0)
+        stamper.add_rhs(0, 2.0)
+        # Row/column 1 is empty: singular, solve must raise, lstsq must not.
+        with pytest.raises(np.linalg.LinAlgError):
+            stamper.solve()
+        solution = stamper.solve_lstsq()
+        assert np.isfinite(solution).all()
+        assert solution[0] == pytest.approx(2.0)
+
+    def test_newton_survives_failing_lstsq_fallback(self, monkeypatch):
+        # Regression for the rescue path: when the direct solve *and* the
+        # least-squares fallback both raise (lstsq's SVD can fail to
+        # converge on pathological systems), the driver must report a
+        # non-converged operating point instead of crashing the analysis.
+        problem = make_problem("two_stage_opamp")
+        circuit = problem.bench.builders["main"](
+            GOOD_DESIGNS["two_stage_opamp"])
+
+        def raise_linalg(self):
+            raise np.linalg.LinAlgError("SVD did not converge")
+
+        monkeypatch.setattr(Stamper, "solve", raise_linalg)
+        monkeypatch.setattr(Stamper, "solve_lstsq", raise_linalg)
+        op = dc_operating_point(circuit, rescue=False)
+        assert not op.converged
+
+    def test_non_finite_lstsq_solution_bails(self, monkeypatch):
+        # The other half of the regression: a lstsq "solution" full of
+        # non-finite values must end the Newton loop as non-converged, not
+        # propagate NaNs into later iterations.
+        problem = make_problem("two_stage_opamp")
+        circuit = problem.bench.builders["main"](
+            GOOD_DESIGNS["two_stage_opamp"])
+        size = circuit.n_nodes + circuit.n_branches
+
+        def raise_linalg(self):
+            raise np.linalg.LinAlgError("singular")
+
+        def nan_solution(self):
+            return np.full(size, np.nan)
+
+        monkeypatch.setattr(Stamper, "solve", raise_linalg)
+        monkeypatch.setattr(Stamper, "solve_lstsq", nan_solution)
+        op = dc_operating_point(circuit, rescue=False)
+        assert not op.converged
+        assert np.isfinite(op.voltages).all()

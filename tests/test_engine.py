@@ -68,7 +68,7 @@ def _random_search_factory(problem, rng):
 # ---------------------------------------------------------------------- #
 class TestBackends:
     def test_available(self):
-        assert available_backends() == ["process", "serial", "thread"]
+        assert available_backends() == ["batched", "process", "serial", "thread"]
 
     def test_resolve_by_name_and_instance(self):
         assert isinstance(resolve_backend("serial"), SerialBackend)
