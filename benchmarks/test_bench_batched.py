@@ -1,12 +1,12 @@
-"""Batched-tensor simulation core throughput (BENCH_BATCHED).
+"""Batched-tensor simulation core throughput (BENCH_BATCHED[_TRAN]).
 
-Measures the stacked DC Newton and stacked AC solves against their serial
-per-design counterparts at batch sizes 1, 8 and 64 on the two-stage opamp
-(a Monte Carlo style workload: mismatch variations of one good design), and
-locates the dense-vs-sparse crossover on resistor ladders of growing size.
-Bit-identity of every batched operating point against its serial twin is
-asserted inline -- a throughput number for a solver that drifts would be
-meaningless.
+Measures the stacked DC Newton, stacked AC and batched transient solves
+against their serial per-design counterparts at batch sizes 1, 8 and 64 on
+the two-stage opamp (a Monte Carlo style workload: mismatch variations of
+one good design), and locates the dense-vs-sparse crossover on resistor
+ladders of growing size.  Bit-identity of every batched result against its
+serial twin is asserted inline -- a throughput number for a solver that
+drifts would be meaningless.
 
 Emits one BENCH_BATCHED JSON record::
 
@@ -14,8 +14,15 @@ Emits one BENCH_BATCHED JSON record::
                    "ac": {...}, "crossover": [...],
                    "speedup_dc_b64": 6.9, ...}
 
+plus one BENCH_BATCHED_TRAN record for the settling-style transient
+workload::
+
+    BENCH_BATCHED_TRAN {"tran": {"1": {...}, "8": {...}, "64": {...}},
+                        "speedup_tran_b64": 3.9, ...}
+
 The nightly lane tracks ``speedup_dc_b64`` (acceptance floor: >= 4x single
-core at B=64).
+core at B=64) and ``speedup_tran_b64`` (floor: >= 2x at B=64 -- the
+transient batch carries per-design controller work the DC batch does not).
 """
 
 import time
@@ -25,6 +32,7 @@ import pytest
 from conftest import budget, record_bench, record_report
 
 from repro.circuits import make_problem
+from repro.errors import ConvergenceError
 from repro.mc.samplers import make_sampler
 from repro.spice import (
     Circuit,
@@ -34,6 +42,8 @@ from repro.spice import (
     ac_analysis_batch,
     dc_operating_point,
     dc_operating_point_batch,
+    transient_analysis,
+    transient_analysis_batch,
 )
 
 GOOD_DESIGN = dict(w_diff=20e-6, l_diff=0.5e-6, w_load=10e-6, l_load=0.5e-6,
@@ -175,3 +185,80 @@ def test_batched_throughput(benchmark):
 
     benchmark.pedantic(lambda: dc_operating_point_batch(circuits(64)),
                        rounds=1, iterations=1)
+
+
+@pytest.mark.slow
+def test_batched_transient_throughput(benchmark):
+    problem, varied = _mc_problems(max(BATCH_SIZES))
+    t_stop = 4e-7  # enough of the settling window for ~100 steps per design
+
+    def circuits(count):
+        return [p.bench.builders["main"](GOOD_DESIGN)
+                for p in varied[:count]]
+
+    record: dict = {"workload": "two_stage_opamp settling mismatch MC",
+                    "t_stop": t_stop, "repeats": REPEATS, "tran": {}}
+
+    # -- inline bit-identity over the full batch before any timing ------- #
+    serial_results: list = []
+    for circuit in circuits(max(BATCH_SIZES)):
+        try:
+            serial_results.append(
+                transient_analysis(circuit, t_stop, observe=["out"]))
+        except ConvergenceError as exc:
+            serial_results.append(exc)
+    batched_results = transient_analysis_batch(
+        circuits(max(BATCH_SIZES)), t_stop, observe=["out"],
+        return_errors=True)
+    for res_serial, res_batched in zip(serial_results, batched_results):
+        if isinstance(res_serial, Exception):
+            assert type(res_batched) is type(res_serial)
+            assert str(res_batched) == str(res_serial)
+            continue
+        assert np.array_equal(res_serial.times, res_batched.times)
+        assert np.array_equal(res_serial.node_voltages["out"],
+                              res_batched.node_voltages["out"])
+        assert res_serial.n_accepted == res_batched.n_accepted
+        assert res_serial.n_rejected == res_batched.n_rejected
+        assert res_serial.n_newton_iterations == res_batched.n_newton_iterations
+
+    # -- serial per-design loop vs one batched run ----------------------- #
+    def run_serial(count):
+        for circuit in circuits(count):
+            try:
+                transient_analysis(circuit, t_stop, observe=["out"])
+            except ConvergenceError:
+                pass
+
+    for size in BATCH_SIZES:
+        t_serial = _best_of(lambda size=size: run_serial(size), REPEATS)
+        t_batched = _best_of(
+            lambda size=size: transient_analysis_batch(
+                circuits(size), t_stop, observe=["out"], return_errors=True),
+            REPEATS)
+        record["tran"][str(size)] = {
+            "serial_s": round(t_serial, 4),
+            "batched_s": round(t_batched, 4),
+            "speedup": round(t_serial / t_batched, 2),
+            "designs_per_s": round(size / t_batched, 1),
+        }
+
+    speedup_b64 = record["tran"]["64"]["speedup"]
+    record["speedup_tran_b64"] = speedup_b64
+    # Acceptance floor with headroom below the ~4x measured on an idle core.
+    # The transient batch keeps the per-design adaptive controllers in
+    # Python, so its ceiling sits below the DC batch's.
+    assert speedup_b64 >= 2.0, (
+        f"batched transient at B=64 regressed to {speedup_b64}x (< 2x floor)")
+
+    record_bench("BENCH_BATCHED_TRAN", record)
+    lines = ["batched transient throughput (serial time / batched time)",
+             "analysis | batch size | speedup"]
+    for size, row in sorted(record["tran"].items(), key=lambda kv: int(kv[0])):
+        lines.append(f"    tran | {size:>10} | {row['speedup']:>6}x")
+    record_report("\n".join(lines))
+
+    benchmark.pedantic(
+        lambda: transient_analysis_batch(circuits(64), t_stop,
+                                         observe=["out"], return_errors=True),
+        rounds=1, iterations=1)

@@ -11,8 +11,12 @@ expensive solves across jobs:
   ``(B,)`` temperature vector);
 * AC analyses become one :func:`repro.spice.ac.ac_analysis_batch` stacked
   solve;
-* transient analyses and sweeps (adaptive control flow, inherently serial)
-  run per job with the exact serial code.
+* transient analyses become one
+  :func:`repro.spice.transient.transient_analysis_batch` run -- every job
+  keeps its own serial adaptive-timestep controller while the per-step
+  Newton solves batch across all in-flight jobs;
+* sweeps (data-dependent stepping over scalar parameters) run per job with
+  the exact serial code.
 
 Everything else -- operating-point memoisation keys, failure messages,
 check/measure evaluation, stats counters -- mirrors
@@ -48,7 +52,7 @@ from repro.errors import ConvergenceError, NetlistError
 from repro.spice.ac import ac_analysis, ac_analysis_batch
 from repro.spice.dc import dc_operating_point, dc_operating_point_batch
 from repro.spice.sweep import dc_sweep, temperature_sweep
-from repro.spice.transient import transient_analysis
+from repro.spice.transient import transient_analysis, transient_analysis_batch
 
 __test__ = False
 
@@ -121,6 +125,8 @@ class BatchSimulator:
                 self._run_op(states, position, spec.transient)
             elif isinstance(spec, ACSpec):
                 self._run_ac(states, position)
+            elif isinstance(spec, TranSpec):
+                self._run_tran(states, position)
             else:
                 self._run_serial(states, position)
         self._run_measures(states)
@@ -162,6 +168,15 @@ class BatchSimulator:
                     raise ValueError(
                         f"batched jobs need identical AC frequency grids "
                         f"and observed nodes (analysis {ref.name!r})")
+                if isinstance(ref, TranSpec) and (
+                        spec.t_stop != ref.t_stop
+                        or spec.reltol != ref.reltol
+                        or spec.abstol != ref.abstol
+                        or tuple(spec.observe) != tuple(ref.observe)):
+                    raise ValueError(
+                        f"batched jobs need identical transient windows, "
+                        f"tolerances and observed nodes "
+                        f"(analysis {ref.name!r})")
             if ([m.name for m in bench.measures]
                     != [m.name for m in reference.measures]):
                 raise ValueError("batched jobs need identical measure sets")
@@ -322,39 +337,71 @@ class BatchSimulator:
             if analysis is not None:
                 job.results[spec.name] = analysis
 
-    def _run_serial(self, states: list[_Job], position: int) -> None:
-        """Transient and sweep analyses: the exact serial path, per job."""
+    def _run_tran(self, states: list[_Job], position: int) -> None:
         pairs = self._alive_pairs(states, position)
-        if pairs and isinstance(pairs[0][1], TranSpec):
-            ops = self._resolve_ops(pairs, transient=True)
-        else:
-            ops = [None] * len(pairs)
+        ops = self._resolve_ops(pairs, transient=True)
+        ready = []
         for (job, spec), op in zip(pairs, ops):
-            if not job.alive:
-                continue
-            try:
-                self._run_one_serial(job, spec, op)
-            except Exception as exc:
-                job.error = _job_error(exc)
-
-    def _run_one_serial(self, job: _Job, spec, op) -> None:
-        temperature = spec.resolved_temperature(job.bench.temperature)
-        if isinstance(spec, TranSpec):
             if op is None:
-                return  # error already recorded during the bias solve
+                continue  # error already recorded during the bias solve
             if not op.converged:
                 job.failure = (f"{spec.name}: transient initial "
                                "condition did not converge")
-                return
-            circuit = self._circuit(job, spec.circuit)
+                continue
             try:
-                job.results[spec.name] = transient_analysis(
-                    circuit, spec.t_stop, observe=list(spec.observe),
-                    operating_point=op, reltol=spec.reltol,
-                    abstol=spec.abstol)
-            except ConvergenceError as exc:
-                job.failure = f"{spec.name}: {exc}"
-        elif isinstance(spec, DCSweepSpec):
+                circuit = self._circuit(job, spec.circuit)
+            except Exception as exc:
+                job.error = _job_error(exc)
+                continue
+            ready.append((job, spec, circuit, op))
+        if not ready:
+            return
+        reference_spec = ready[0][1]
+        try:
+            outcomes = transient_analysis_batch(
+                [entry[2] for entry in ready], reference_spec.t_stop,
+                observe=list(reference_spec.observe),
+                operating_points=[entry[3] for entry in ready],
+                reltol=reference_spec.reltol, abstol=reference_spec.abstol,
+                return_errors=True)
+        except (NetlistError, ValueError):
+            # Heterogeneous topologies cannot share a batch: run the serial
+            # analysis per job, capturing failures individually.
+            for job, spec, circuit, op in ready:
+                try:
+                    job.results[spec.name] = transient_analysis(
+                        circuit, spec.t_stop, observe=list(spec.observe),
+                        operating_point=op, reltol=spec.reltol,
+                        abstol=spec.abstol)
+                except ConvergenceError as exc:
+                    job.failure = f"{spec.name}: {exc}"
+                except Exception as exc:
+                    job.error = _job_error(exc)
+            return
+        for (job, spec, _, _), outcome in zip(ready, outcomes):
+            if isinstance(outcome, ConvergenceError):
+                # The serial driver turns controller give-ups into job
+                # failures; other exceptions are unmodelled errors.
+                job.failure = f"{spec.name}: {outcome}"
+            elif isinstance(outcome, Exception):
+                job.error = _job_error(outcome)
+            else:
+                job.results[spec.name] = outcome
+
+    def _run_serial(self, states: list[_Job], position: int) -> None:
+        """Sweep analyses: the exact serial path, per job."""
+        pairs = self._alive_pairs(states, position)
+        for job, spec in pairs:
+            if not job.alive:
+                continue
+            try:
+                self._run_one_serial(job, spec)
+            except Exception as exc:
+                job.error = _job_error(exc)
+
+    def _run_one_serial(self, job: _Job, spec) -> None:
+        temperature = spec.resolved_temperature(job.bench.temperature)
+        if isinstance(spec, DCSweepSpec):
             circuit = self._circuit(job, spec.circuit)
             try:
                 values, observed = dc_sweep(

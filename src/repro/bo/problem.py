@@ -78,8 +78,11 @@ class OptimizationProblem:
 
     #: Whether this problem can be simulated through the vectorised batch
     #: path (``repro.circuits.base.simulate_checked_batch``).  Testbench
-    #: problems opt in; wrappers that fan out *internally* (corner sweeps,
-    #: Monte Carlo yield) stay False -- their own fan-outs batch instead.
+    #: problems opt in -- every analysis kind they declare (operating
+    #: points, AC sweeps and transient step responses alike) now runs
+    #: through the stacked solvers; wrappers that fan out *internally*
+    #: (corner sweeps, Monte Carlo yield) stay False -- their own fan-outs
+    #: batch instead.
     supports_batch_simulation = False
 
     def __init__(self, name: str, design_space: DesignSpace, objective: str,

@@ -54,7 +54,9 @@ from repro.spice.mna import (
 from repro.spice.transient import (
     TransientResult,
     transient_analysis,
+    transient_analysis_batch,
     transient_operating_point,
+    transient_operating_point_batch,
 )
 from repro.spice.sweep import dc_sweep, temperature_sweep
 
@@ -89,7 +91,9 @@ __all__ = [
     "SPARSE_SIZE_THRESHOLD",
     "TransientResult",
     "transient_analysis",
+    "transient_analysis_batch",
     "transient_operating_point",
+    "transient_operating_point_batch",
     "dc_sweep",
     "temperature_sweep",
 ]

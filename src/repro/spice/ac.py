@@ -51,8 +51,13 @@ class ACResult:
     def unity_gain_frequency(self, node: str) -> float:
         """First frequency where the magnitude crosses 0 dB (GBW proxy).
 
-        Returns 0 when the response never reaches 0 dB (no unity-gain
-        crossing means the amplifier is essentially dead).
+        The two no-crossing cases resolve differently:
+
+        * starting *at or below* 0 dB returns 0 -- the amplifier is
+          essentially dead, so a GBW constraint should fail outright;
+        * staying *above* 0 dB through the whole sweep clamps to the last
+          analysed frequency -- the true crossing lies beyond the sweep, so
+          the clamp is a conservative lower bound on the real GBW.
         """
         magnitude = self.magnitude_db(node)
         if magnitude[0] <= 0.0:

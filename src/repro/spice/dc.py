@@ -309,6 +309,8 @@ class _BatchAssembler:
         # handful of times per ladder, while stamping runs every iteration.
         self._gather_cache: dict[bytes, tuple] = {}
         self._dense_stamper: BatchStamper | None = None
+        self._sparse_stamper: SparseBatchStamper | None = None
+        self._sparse_gmin: bool | None = None
 
     def _gather(self, indices: np.ndarray) -> tuple:
         key = indices.tobytes()
@@ -333,8 +335,19 @@ class _BatchAssembler:
         """Stamp the active sub-batch ``indices`` at trial ``voltages``."""
         batch_size = len(indices)
         if self.solver == "sparse":
-            stamper = SparseBatchStamper(batch_size, self.n_nodes,
-                                         self.n_branches)
+            # Reused like the dense stamper so the locked triplet pattern
+            # (and its symbolic analysis) carries across Newton iterations.
+            # A gmin-presence flip would change the stamp sequence against
+            # the locked pattern, so it forces a rebuild.
+            stamper = self._sparse_stamper
+            if (stamper is None or stamper.batch_size != batch_size
+                    or self._sparse_gmin != (gmin > 0.0)):
+                stamper = SparseBatchStamper(batch_size, self.n_nodes,
+                                             self.n_branches)
+                self._sparse_stamper = stamper
+                self._sparse_gmin = gmin > 0.0
+            else:
+                stamper.reset()
         else:
             stamper = self._dense_stamper
             if stamper is None or stamper.batch_size != batch_size:

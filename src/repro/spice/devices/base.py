@@ -36,6 +36,19 @@ The solver drives three hooks:
    the converged solution so the device can roll its state forward.
    Rejected steps (local truncation error too large, Newton failure) never
    commit, so a device must keep all history in ``state`` -- not on ``self``.
+
+Batched transient analysis
+(:func:`repro.spice.transient.transient_analysis_batch`) adds the
+companion-model analogue of the batched DC contract:
+:meth:`Device.transient_batch_context` precomputes per-design ``(B,)``
+constants (or returns ``None`` to opt out) and
+:meth:`Device.stamp_transient_batch` stamps all sibling devices of a
+topology-identical batch at once -- each design carrying its *own* time,
+timestep and integration method, since the adaptive controllers run
+independently per design.  The default implementation falls back to
+per-design :meth:`stamp_transient` calls, so the contract is opt-in per
+device class; overrides must keep the accumulation order bit-identical to
+the serial stamp, exactly like ``stamp_dc_batch``.
 """
 
 from __future__ import annotations
@@ -61,6 +74,25 @@ def stamp_capacitor_companion(stamper, positive: int, negative: int,
     else:
         geq = capacitance / dt
         ieq = -geq * v_prev
+    stamper.add_conductance(positive, negative, geq)
+    stamper.add_current(positive, negative, ieq)
+
+
+def stamp_capacitor_companion_batch(stamper, positive: int, negative: int,
+                                    capacitance: np.ndarray,
+                                    v_prev: np.ndarray, i_prev: np.ndarray,
+                                    dts: np.ndarray,
+                                    trap: np.ndarray) -> None:
+    """Vectorized :func:`stamp_capacitor_companion` over a design batch.
+
+    ``capacitance``/``v_prev``/``i_prev``/``dts`` are ``(B,)`` arrays and
+    ``trap`` is the ``(B,)`` boolean mask of designs integrating this step
+    with the trapezoidal rule.  Both method lanes are evaluated elementwise
+    and blended with ``np.where``, which reproduces the scalar branches bit
+    for bit per design.
+    """
+    geq = np.where(trap, 2.0 * capacitance / dts, capacitance / dts)
+    ieq = np.where(trap, -geq * v_prev - i_prev, -geq * v_prev)
     stamper.add_conductance(positive, negative, geq)
     stamper.add_current(positive, negative, ieq)
 
@@ -189,6 +221,38 @@ class Device:
                          temperature: float) -> None:
         """Roll ``state`` forward after a step is accepted (default: no-op)."""
         return
+
+    # -- batched transient ---------------------------------------------- #
+    def transient_batch_context(self, siblings, temperatures: np.ndarray):
+        """Precompute per-design constants for :meth:`stamp_transient_batch`.
+
+        Same shape and bit-identity rules as :meth:`dc_batch_context`:
+        return ``None`` for the per-design fallback or a dict of ``(B,)``
+        arrays for the vectorized stamp.  Classes that override
+        :meth:`stamp_transient` should override this pair together --
+        inheriting a quasi-static batch stamp over a stateful serial stamp
+        would silently diverge.
+        """
+        return None
+
+    def stamp_transient_batch(self, stamper, siblings, voltages: np.ndarray,
+                              states, times: np.ndarray, dts: np.ndarray,
+                              trap: np.ndarray, temperatures: np.ndarray,
+                              context=None) -> None:
+        """Stamp one transient Newton iteration for a batch of siblings.
+
+        ``states[b]`` is design ``b``'s state dict for this device (with the
+        reserved ``"time"``/``"method"`` keys already set), ``times``/``dts``
+        are the per-design solve times and timesteps, and ``trap`` is the
+        per-design trapezoidal-method mask -- designs step asynchronously,
+        so none of these are shared across the batch.  Overrides must
+        accumulate exactly the same additions in the same order as
+        :meth:`stamp_transient` does per design.
+
+        The base implementation is the automatic per-design fallback.
+        """
+        stamper.stamp_device_transient_serial(siblings, voltages, states,
+                                              dts, temperatures)
 
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         """Per-device operating-point quantities (currents, gm, region, ...)."""

@@ -110,6 +110,15 @@ class Diode(TwoTerminal):
         stamper.add_conductance(pos, neg, conductance)
         stamper.add_current(pos, neg, equivalent)
 
+    def transient_batch_context(self, siblings, temperatures):
+        # Quasi-static: the transient stamp is exactly the DC stamp.
+        return self.dc_batch_context(siblings, temperatures)
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        self.stamp_dc_batch(stamper, siblings, voltages, temperatures, context)
+
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         info = operating_point.device_info.get(self.name, {})
         conductance = info.get("gd", 1e-12)

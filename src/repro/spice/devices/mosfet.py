@@ -16,6 +16,7 @@ from repro.spice.devices.base import (
     Device,
     commit_capacitor_companion,
     stamp_capacitor_companion,
+    stamp_capacitor_companion_batch,
 )
 
 
@@ -434,6 +435,33 @@ class Mosfet(Device):
                                    v_g - v_s)
         commit_capacitor_companion(state["cgd"], state, "v_gd", "i_gd", dt,
                                    v_g - v_d)
+
+    def transient_batch_context(self, siblings, temperatures):
+        # Same constants (and the same mixed-polarity fallback) as DC: the
+        # frozen gate capacitances live per design in the transient state.
+        return self.dc_batch_context(siblings, temperatures)
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        if context is None:
+            context = self.transient_batch_context(siblings, temperatures)
+        if context is None:
+            stamper.stamp_device_transient_serial(siblings, voltages, states,
+                                                  dts, temperatures)
+            return
+        self.stamp_dc_batch(stamper, siblings, voltages, temperatures, context)
+        drain, gate, source, _ = self.node_indices
+        cgs = np.array([state["cgs"] for state in states])
+        cgd = np.array([state["cgd"] for state in states])
+        v_gs = np.array([state["v_gs"] for state in states])
+        i_gs = np.array([state["i_gs"] for state in states])
+        v_gd = np.array([state["v_gd"] for state in states])
+        i_gd = np.array([state["i_gd"] for state in states])
+        stamp_capacitor_companion_batch(stamper, gate, source, cgs, v_gs,
+                                        i_gs, dts, trap)
+        stamp_capacitor_companion_batch(stamper, gate, drain, cgd, v_gd,
+                                        i_gd, dts, trap)
 
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         op = self.operating_point(voltages, temperature)

@@ -8,6 +8,7 @@ from repro.spice.devices.base import (
     TwoTerminal,
     commit_capacitor_companion,
     stamp_capacitor_companion,
+    stamp_capacitor_companion_batch,
 )
 from repro.utils.validation import check_positive
 
@@ -40,6 +41,15 @@ class Resistor(TwoTerminal):
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         stamper.add_conductance(self.positive_index, self.negative_index,
                                 self.conductance)
+
+    def transient_batch_context(self, siblings, temperatures):
+        # Quasi-static: the transient stamp is exactly the DC stamp.
+        return self.dc_batch_context(siblings, temperatures)
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        self.stamp_dc_batch(stamper, siblings, voltages, temperatures, context)
 
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         v = self.voltage_across(voltages)
@@ -80,6 +90,21 @@ class Capacitor(TwoTerminal):
                          temperature: float) -> None:
         commit_capacitor_companion(self.capacitance, state, "v", "i", dt,
                                    self.voltage_across(voltages))
+
+    def transient_batch_context(self, siblings, temperatures):
+        return {"capacitance": np.array([d.capacitance for d in siblings])}
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        if context is None:
+            context = self.transient_batch_context(siblings, temperatures)
+        v_prev = np.array([state["v"] for state in states])
+        i_prev = np.array([state["i"] for state in states])
+        stamp_capacitor_companion_batch(stamper, self.positive_index,
+                                        self.negative_index,
+                                        context["capacitance"], v_prev,
+                                        i_prev, dts, trap)
 
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         return {"v": self.voltage_across(voltages)}
@@ -151,6 +176,26 @@ class Inductor(TwoTerminal):
                          temperature: float) -> None:
         state["i"] = float(voltages[self.branch_indices[0]])
         state["v"] = self.voltage_across(voltages)
+
+    def transient_batch_context(self, siblings, temperatures):
+        return {"inductance": np.array([d.inductance for d in siblings])}
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        if context is None:
+            context = self.transient_batch_context(siblings, temperatures)
+        branch = self.branch_indices[0]
+        self._stamp_branch_kcl(stamper)
+        stamper.add_entry(branch, self.positive_index, 1.0)
+        stamper.add_entry(branch, self.negative_index, -1.0)
+        i_prev = np.array([state["i"] for state in states])
+        v_prev = np.array([state["v"] for state in states])
+        inductance = context["inductance"]
+        req = np.where(trap, 2.0 * inductance / dts, inductance / dts)
+        rhs = np.where(trap, -req * i_prev - v_prev, -req * i_prev)
+        stamper.add_entry(branch, branch, -req)
+        stamper.add_rhs(branch, rhs)
 
     def branch_current(self, solution: np.ndarray) -> float:
         """Current through the inductor (positive into the + terminal)."""

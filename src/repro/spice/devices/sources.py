@@ -202,6 +202,21 @@ class VoltageSource(TwoTerminal):
                         dt: float, temperature: float) -> None:
         self._stamp_branch(stamper, self.value_at(state["time"]))
 
+    def transient_batch_context(self, siblings, temperatures):
+        # No shareable constants: each design is at its own solve time, so
+        # the stamp evaluates the waveform per design.  An empty dict (not
+        # None) still selects the vectorized branch stamp.
+        return {}
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        # Scalar value_at per design keeps the waveform math bit-identical
+        # to the serial stamp; only the branch stamping is vectorized.
+        values = np.array([device.value_at(float(t))
+                           for device, t in zip(siblings, times)])
+        self._stamp_branch(stamper, values)
+
     def branch_current(self, solution: np.ndarray) -> float:
         """Current through the source (positive into the + terminal)."""
         return float(np.real(solution[self.branch_indices[0]]))
@@ -248,6 +263,16 @@ class CurrentSource(TwoTerminal):
         stamper.add_current(self.positive_index, self.negative_index,
                             self.value_at(state["time"]))
 
+    def transient_batch_context(self, siblings, temperatures):
+        return {}
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        values = np.array([device.value_at(float(t))
+                           for device, t in zip(siblings, times)])
+        stamper.add_current(self.positive_index, self.negative_index, values)
+
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         return {"i": self.dc, "v": self.voltage_across(voltages)}
 
@@ -274,6 +299,15 @@ class VCCS(Device):
         out_p, out_n, ctrl_p, ctrl_n = self.node_indices
         stamper.add_transconductance(out_p, out_n, ctrl_p, ctrl_n,
                                      context["gm"])
+
+    def transient_batch_context(self, siblings, temperatures):
+        # Quasi-static: the transient stamp is exactly the DC stamp.
+        return self.dc_batch_context(siblings, temperatures)
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        self.stamp_dc_batch(stamper, siblings, voltages, temperatures, context)
 
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         out_p, out_n, ctrl_p, ctrl_n = self.node_indices
@@ -319,6 +353,15 @@ class VCVS(Device):
         stamper.add_entry(branch, out_n, -1.0)
         stamper.add_entry(branch, ctrl_p, -mu)
         stamper.add_entry(branch, ctrl_n, mu)
+
+    def transient_batch_context(self, siblings, temperatures):
+        # Quasi-static: the transient stamp is exactly the DC stamp.
+        return self.dc_batch_context(siblings, temperatures)
+
+    def stamp_transient_batch(self, stamper, siblings, voltages, states,
+                              times, dts, trap, temperatures,
+                              context=None) -> None:
+        self.stamp_dc_batch(stamper, siblings, voltages, temperatures, context)
 
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         self._stamp(stamper)

@@ -17,13 +17,22 @@ Four stamper implementations share one stamping vocabulary:
   dense ceiling;
 * :class:`SparseBatchStamper` -- the batched sparse path: one shared
   symbolic pattern (the topology is identical across the batch) with
-  ``(B,)``-wide triplet values, factorised per design.
+  ``(B,)``-wide triplet values, factorised per design.  After the first
+  assembly the stamper *locks* its triplet pattern: subsequent
+  ``reset()``/restamp cycles (Newton iterations, transient steps) reuse the
+  frozen position arrays, the lexsort/deduplication analysis and the
+  CSR->CSC conversion mapping instead of rebuilding them, so only the
+  numeric factorisation is repeated per design.  The opt-in
+  ``shared_symbolic`` mode goes further and reuses design 0's SuperLU
+  column permutation for the whole batch (see the class docstring).
 
 Bit-identity contract: for a fixed solver (dense or sparse), the batched
 stampers accumulate exactly the same additions in exactly the same order as
 their serial counterpart does per design, and the solves are per-slice
 bit-identical to the serial solves -- so batched Newton reproduces serial
-Newton bit for bit (see ``tests/test_batched.py``).
+Newton bit for bit (see ``tests/test_batched.py``).  ``shared_symbolic``
+is the one documented exception: it trades last-ulp identity for a shared
+symbolic factorisation and is off by default.
 """
 
 from __future__ import annotations
@@ -31,10 +40,12 @@ from __future__ import annotations
 import numpy as np
 
 try:  # pragma: no cover - exercised through the sparse-path tests
+    from scipy.sparse import csc_matrix as _csc_matrix
     from scipy.sparse import csr_matrix as _csr_matrix
     from scipy.sparse.linalg import splu as _splu
     HAVE_SCIPY_SPARSE = True
 except ImportError:  # pragma: no cover - the image bakes scipy in
+    _csc_matrix = None
     _csr_matrix = None
     _splu = None
     HAVE_SCIPY_SPARSE = False
@@ -205,6 +216,20 @@ class BatchStamper(_StampOps):
         for b, device in enumerate(siblings):
             device.stamp_dc(self.design_view(b), voltages[b],
                             float(temperatures[b]))
+
+    def stamp_device_transient_serial(self, siblings, voltages: np.ndarray,
+                                      states, dts: np.ndarray,
+                                      temperatures: np.ndarray) -> None:
+        """Per-design fallback for devices without a vectorized transient stamp.
+
+        ``states[b]`` is design ``b``'s mutable state dict for this device;
+        the transient driver has already injected the reserved ``"time"`` and
+        ``"method"`` keys for the step being attempted.
+        """
+        for b, device in enumerate(siblings):
+            device.stamp_transient(self.design_view(b), voltages[b],
+                                   states[b], float(dts[b]),
+                                   float(temperatures[b]))
 
     # ------------------------------------------------------------------ #
     # solving                                                             #
@@ -377,20 +402,9 @@ class _SparseDesignView(_StampOps):
     def add_entry(self, row: int, col: int, value) -> None:
         if row < 0 or col < 0:
             return
-        parent = self._parent
         position = self._cursor
         self._cursor += 1
-        if self._index == 0:
-            parent.rows.append(row)
-            parent.cols.append(col)
-            parent.data.append(np.zeros(parent.batch_size))
-        elif parent.rows[position] != row or parent.cols[position] != col:
-            raise ValueError(
-                "per-design fallback stamps diverged across the batch: "
-                f"design {self._index} wrote ({row}, {col}) where design 0 "
-                f"wrote ({parent.rows[position]}, {parent.cols[position]}); "
-                "batched assembly requires topology-identical circuits")
-        parent.data[position][self._index] += value
+        self._parent._design_entry(position, self._index, row, col, value)
 
     def add_rhs(self, row: int, value) -> None:
         if row < 0:
@@ -406,29 +420,86 @@ class SparseBatchStamper(_StampOps):
     shared across the batch, and each design's numeric factorisation runs on
     its own value column -- bit-identical to :class:`SparseStamper` on the
     same design, which uses the same machinery on 1-D values.
+
+    Because Newton iterations (and transient steps) restamp the *same*
+    device sequence with new values, the stamper locks its triplet pattern
+    on the first :meth:`reset` after a completed assembly: the (row, col)
+    position arrays freeze, the value store becomes one ``(n_triplets, B)``
+    array that is zeroed instead of rebuilt, and the symbolic analysis
+    (lexsort order, duplicate runs, CSR arrays, CSR->CSC conversion
+    mapping) is computed once and reused by every later solve.  A stamp
+    sequence that diverges from the locked pattern raises ``ValueError`` --
+    topology-identical circuits never do.
+
+    ``shared_symbolic=True`` additionally reuses design 0's SuperLU column
+    permutation (COLAMD) for designs ``1..B-1`` by pre-permuting their
+    columns and factorising with ``permc_spec="NATURAL"``.  SuperLU
+    post-processes COLAMD with an elimination-tree postorder, so the reused
+    permutation is the same ordering *family* but not the same
+    factorisation path: results agree to ~1 ulp with the per-design default
+    rather than bit-for-bit.  It is therefore opt-in and excluded from the
+    bit-identity contract.
     """
 
-    def __init__(self, batch_size: int, n_nodes: int, n_branches: int):
+    def __init__(self, batch_size: int, n_nodes: int, n_branches: int,
+                 shared_symbolic: bool = False):
         _require_scipy()
         self.batch_size = int(batch_size)
         self.n_nodes = int(n_nodes)
         self.n_branches = int(n_branches)
+        self.shared_symbolic = bool(shared_symbolic)
         self.rows: list[int] = []
         self.cols: list[int] = []
         self.data: list[np.ndarray] = []
         self.rhs = np.zeros((self.batch_size, self.size))
-        self._csr_cache = None
+        self._diagonal = np.arange(self.n_nodes)
+        self._locked = False
+        self._cursor = 0
+        self._rows_arr: np.ndarray | None = None
+        self._cols_arr: np.ndarray | None = None
+        self._values: np.ndarray | None = None
+        self._pattern_cache = None
+        self._reduced_cache = None
+        self._shared_cache = None
 
     @property
     def size(self) -> int:
         return self.n_nodes + self.n_branches
 
+    @property
+    def pattern_locked(self) -> bool:
+        """Whether the triplet pattern is frozen for buffer-reusing restamps."""
+        return self._locked
+
     def reset(self) -> None:
-        self.rows.clear()
-        self.cols.clear()
-        self.data.clear()
+        """Prepare for a restamp; locks the pattern after the first assembly."""
+        if not self._locked and self._cursor > 0:
+            self._rows_arr = np.asarray(self.rows, dtype=np.intp)
+            self._cols_arr = np.asarray(self.cols, dtype=np.intp)
+            self._values = np.array(self.data)  # (n_triplets, B)
+            self.rows.clear()
+            self.cols.clear()
+            self.data.clear()
+            self._locked = True
+        if self._locked:
+            self._values[...] = 0.0
         self.rhs[...] = 0
-        self._csr_cache = None
+        self._cursor = 0
+        self._reduced_cache = None
+
+    def _divergence(self, position: int, row: int, col: int) -> ValueError:
+        if position >= self._rows_arr.size:
+            return ValueError(
+                "sparse batch stamps diverged from the locked pattern: "
+                f"entry ({row}, {col}) lands past the {self._rows_arr.size} "
+                "triplets of the first assembly; batched restamps require a "
+                "value-independent stamping sequence")
+        return ValueError(
+            "sparse batch stamps diverged from the locked pattern: "
+            f"entry ({row}, {col}) at position {position} where the first "
+            f"assembly wrote ({int(self._rows_arr[position])}, "
+            f"{int(self._cols_arr[position])}); batched restamps require a "
+            "value-independent stamping sequence")
 
     # ------------------------------------------------------------------ #
     # element stamps                                                      #
@@ -436,11 +507,21 @@ class SparseBatchStamper(_StampOps):
     def add_entry(self, row: int, col: int, values) -> None:
         if row < 0 or col < 0:
             return
+        if self._locked:
+            position = self._cursor
+            if (position >= self._rows_arr.size
+                    or self._rows_arr[position] != row
+                    or self._cols_arr[position] != col):
+                raise self._divergence(position, row, col)
+            self._values[position] = values
+            self._cursor = position + 1
+            return
         self.rows.append(row)
         self.cols.append(col)
         column = np.empty(self.batch_size)
         column[:] = values
         self.data.append(column)
+        self._cursor += 1
 
     def add_rhs(self, row: int, values) -> None:
         if row < 0:
@@ -448,11 +529,46 @@ class SparseBatchStamper(_StampOps):
         self.rhs[:, row] += values
 
     def add_gmin(self, gmin: float) -> None:
+        if self._locked:
+            position = self._cursor
+            end = position + self.n_nodes
+            if (end > self._rows_arr.size
+                    or not np.array_equal(self._rows_arr[position:end],
+                                          self._diagonal)
+                    or not np.array_equal(self._cols_arr[position:end],
+                                          self._diagonal)):
+                raise self._divergence(position, 0, 0)
+            self._values[position:end] = gmin
+            self._cursor = end
+            return
         nodes = range(self.n_nodes)
         self.rows.extend(nodes)
         self.cols.extend(nodes)
         self.data.extend(np.full(self.batch_size, gmin)
                          for _ in range(self.n_nodes))
+        self._cursor += self.n_nodes
+
+    def _design_entry(self, position: int, index: int, row: int, col: int,
+                      value) -> None:
+        """One design's entry at a triplet ``position`` (fallback views)."""
+        if self._locked:
+            if (position >= self._rows_arr.size
+                    or self._rows_arr[position] != row
+                    or self._cols_arr[position] != col):
+                raise self._divergence(position, row, col)
+            self._values[position, index] += value
+            return
+        if index == 0:
+            self.rows.append(row)
+            self.cols.append(col)
+            self.data.append(np.zeros(self.batch_size))
+        elif self.rows[position] != row or self.cols[position] != col:
+            raise ValueError(
+                "per-design fallback stamps diverged across the batch: "
+                f"design {index} wrote ({row}, {col}) where design 0 "
+                f"wrote ({self.rows[position]}, {self.cols[position]}); "
+                "batched assembly requires topology-identical circuits")
+        self.data[position][index] += value
 
     # ------------------------------------------------------------------ #
     # per-design fallback                                                 #
@@ -460,7 +576,7 @@ class SparseBatchStamper(_StampOps):
     def stamp_device_serial(self, siblings, voltages: np.ndarray,
                             temperatures: np.ndarray) -> None:
         """Per-design fallback for devices without a vectorized DC stamp."""
-        base = len(self.rows)
+        base = self._cursor
         count = None
         for b, device in enumerate(siblings):
             view = _SparseDesignView(self, b, base)
@@ -473,22 +589,134 @@ class SparseBatchStamper(_StampOps):
                     f"device {device.name!r} stamped {written} entries for "
                     f"design {b} but {count} for design 0; batched assembly "
                     "requires topology-identical circuits")
+        self._cursor = base + (count or 0)
+
+    def stamp_device_transient_serial(self, siblings, voltages: np.ndarray,
+                                      states, dts: np.ndarray,
+                                      temperatures: np.ndarray) -> None:
+        """Per-design fallback for devices without a vectorized transient stamp."""
+        base = self._cursor
+        count = None
+        for b, device in enumerate(siblings):
+            view = _SparseDesignView(self, b, base)
+            device.stamp_transient(view, voltages[b], states[b],
+                                   float(dts[b]), float(temperatures[b]))
+            written = view._cursor - base
+            if count is None:
+                count = written
+            elif written != count:
+                raise ValueError(
+                    f"device {device.name!r} stamped {written} entries for "
+                    f"design {b} but {count} for design 0; batched assembly "
+                    "requires topology-identical circuits")
+        self._cursor = base + (count or 0)
 
     # ------------------------------------------------------------------ #
     # solving                                                             #
     # ------------------------------------------------------------------ #
+    def _pattern(self):
+        """Shared symbolic analysis: CSR pattern + CSR->CSC value mapping.
+
+        Computed once per locked pattern (or per assembly while unlocked)
+        and reused by every design and every Newton iteration.  The CSC
+        arrays come from an actual ``tocsc()`` call on an index-carrying
+        matrix, so feeding ``values[csc_perm]`` into ``csc_matrix`` is
+        bit-identical to converting each design's CSR matrix on the fly.
+        """
+        if self._pattern_cache is None:
+            if self._locked:
+                rows, cols = self._rows_arr, self._cols_arr
+            else:
+                rows = np.asarray(self.rows, dtype=np.intp)
+                cols = np.asarray(self.cols, dtype=np.intp)
+            order, starts, indices, indptr = _csr_pattern(rows, cols,
+                                                          self.size)
+            nnz = indices.size
+            if nnz:
+                mapping = _csr_matrix(
+                    (np.arange(1, nnz + 1, dtype=np.int64), indices, indptr),
+                    shape=(self.size, self.size)).tocsc()
+                csc_perm = (mapping.data - 1).astype(np.intp)
+                csc_indices = mapping.indices
+                csc_indptr = mapping.indptr
+            else:
+                csc_perm = np.empty(0, dtype=np.intp)
+                csc_indices = np.empty(0, dtype=np.int32)
+                csc_indptr = np.zeros(self.size + 1, dtype=np.int32)
+            self._pattern_cache = (order, starts, indices, indptr,
+                                   csc_perm, csc_indices, csc_indptr)
+        return self._pattern_cache
+
     def _csr(self):
-        if self._csr_cache is None:
-            rows = np.asarray(self.rows, dtype=np.intp)
-            cols = np.asarray(self.cols, dtype=np.intp)
-            order, starts, indices, indptr = _csr_pattern(rows, cols, self.size)
-            if starts.size:
+        if self._reduced_cache is None:
+            order, starts, indices, indptr, *_ = self._pattern()
+            if self._locked:
+                if self._cursor != self._rows_arr.size:
+                    raise ValueError(
+                        "sparse batch assembly is incomplete: "
+                        f"{self._cursor} of {self._rows_arr.size} locked "
+                        "triplets were restamped before solving")
+                stacked = self._values
+            else:
                 stacked = np.asarray(self.data)  # (n_triplets, B)
+            if starts.size:
                 values = np.add.reduceat(stacked[order], starts, axis=0)
             else:
                 values = np.empty((0, self.batch_size))
-            self._csr_cache = (values, indices, indptr)
-        return self._csr_cache
+            self._reduced_cache = (values, indices, indptr)
+        return self._reduced_cache
+
+    def _solve_one(self, values_column: np.ndarray,
+                   rhs_row: np.ndarray) -> np.ndarray:
+        """Default SuperLU solve of one design through the cached CSC map."""
+        *_, csc_perm, csc_indices, csc_indptr = self._pattern()
+        matrix = _csc_matrix((values_column[csc_perm], csc_indices,
+                              csc_indptr), shape=(self.size, self.size))
+        try:
+            return _splu(matrix).solve(rhs_row)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            raise np.linalg.LinAlgError(str(exc)) from exc
+
+    def _shared_pattern(self, perm_c: np.ndarray):
+        """Column-permuted CSC pattern for the shared-symbolic mode."""
+        if self._shared_cache is None:
+            *_, csc_perm, csc_indices, csc_indptr = self._pattern()
+            perm_c = np.asarray(perm_c, dtype=np.intp)
+            counts = csc_indptr[1:] - csc_indptr[:-1]
+            indptr_p = np.zeros_like(csc_indptr)
+            np.cumsum(counts[perm_c], out=indptr_p[1:])
+            if csc_indices.size:
+                take = np.concatenate(
+                    [np.arange(csc_indptr[c], csc_indptr[c + 1])
+                     for c in perm_c])
+            else:
+                take = np.empty(0, dtype=np.intp)
+            self._shared_cache = (perm_c, csc_perm[take], csc_indices[take],
+                                  indptr_p)
+        return self._shared_cache
+
+    def _solve_shared(self, values: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Shared-symbolic solves: design 0's COLAMD ordering for everyone."""
+        *_, csc_perm, csc_indices, csc_indptr = self._pattern()
+        matrix0 = _csc_matrix((values[:, 0][csc_perm], csc_indices,
+                               csc_indptr), shape=(self.size, self.size))
+        try:
+            factor0 = _splu(matrix0)
+        except RuntimeError as exc:
+            raise np.linalg.LinAlgError(str(exc)) from exc
+        out[0] = factor0.solve(self.rhs[0])
+        perm_c, perm_values, indices_p, indptr_p = \
+            self._shared_pattern(factor0.perm_c)
+        for b in range(1, self.batch_size):
+            matrix = _csc_matrix((values[:, b][perm_values], indices_p,
+                                  indptr_p), shape=(self.size, self.size))
+            try:
+                factor = _splu(matrix, permc_spec="NATURAL")
+                solution = factor.solve(self.rhs[b])
+            except RuntimeError as exc:
+                raise np.linalg.LinAlgError(str(exc)) from exc
+            out[b][perm_c] = solution
+        return out
 
     def solve(self) -> np.ndarray:
         """Factorise and solve every design; ``(B, size)``.
@@ -497,17 +725,17 @@ class SparseBatchStamper(_StampOps):
         factor is singular -- the caller then retries per design with its
         least-squares fallback, like the dense path.
         """
-        values, indices, indptr = self._csr()
+        values, _, _ = self._csr()
         out = np.empty((self.batch_size, self.size))
+        if self.shared_symbolic and self.batch_size > 1 and self.size:
+            return self._solve_shared(values, out)
         for b in range(self.batch_size):
-            out[b] = _sparse_solve(values[:, b], indices, indptr, self.size,
-                                   self.rhs[b])
+            out[b] = self._solve_one(values[:, b], self.rhs[b])
         return out
 
     def solve_design(self, index: int) -> np.ndarray:
-        values, indices, indptr = self._csr()
-        return _sparse_solve(values[:, index], indices, indptr, self.size,
-                             self.rhs[index])
+        values, _, _ = self._csr()
+        return self._solve_one(values[:, index], self.rhs[index])
 
     def solve_lstsq_design(self, index: int) -> np.ndarray:
         values, indices, indptr = self._csr()

@@ -168,14 +168,19 @@ class Circuit:
 
     def stamp_transient(self, voltages: np.ndarray, states: dict[str, dict],
                         time: float, dt: float, method: str, temperature: float,
-                        gmin: float = 0.0) -> Stamper:
+                        gmin: float = 0.0, stamper=None):
         """Assemble the companion-model system for one transient Newton iterate.
 
         The solver-owned ``time`` and ``method`` (``"be"``/``"trap"``) are
         injected into each device's state before stamping, per the transient
-        contract in :mod:`repro.spice.devices.base`.
+        contract in :mod:`repro.spice.devices.base`.  ``stamper`` (optional)
+        is a previously created DC-style stamper to reset and restamp in
+        place, like :meth:`stamp_dc`.
         """
-        stamper = self.make_stamper(dtype=float)
+        if stamper is None:
+            stamper = self.make_stamper(dtype=float)
+        else:
+            stamper.reset()
         for device in self.devices:
             state = states[device.name]
             state["time"] = time

@@ -18,6 +18,18 @@ classic SPICE recipe:
 :class:`TransientResult` carries the accepted waveforms and implements the
 time-domain measurements the sizing problems use as figures of merit: slew
 rate, settling time and overshoot of a step response.
+
+:func:`transient_analysis_batch` runs the same integration on ``B``
+topology-identical circuits at once.  Every design keeps its *own* adaptive
+controller (time, timestep, integration method, LTE history, breakpoint
+cursor) stepping exactly as the serial controller would, while the per-step
+Newton solves of all in-flight designs are batched: one
+``stamp_transient_batch`` pass per device column (see
+:mod:`repro.spice.devices.base`) assembles a ``(B, size, size)`` tensor --
+or a shared-pattern sparse batch whose symbolic analysis is computed once --
+and a single stacked solve advances every design.  Because each design's
+controller decisions depend only on its own iterate sequence, batched
+results are bit-identical to serial runs of each design alone.
 """
 
 from __future__ import annotations
@@ -28,7 +40,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConvergenceError
-from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.dc import (
+    OperatingPoint,
+    _check_batch_topology,
+    _resolve_solver,
+    dc_operating_point,
+    dc_operating_point_batch,
+)
+from repro.spice.mna import BatchStamper, SparseBatchStamper
 from repro.spice.netlist import Circuit
 
 #: Tiny conductance to ground keeping otherwise-floating nodes solvable.
@@ -169,12 +188,14 @@ class TransientResult:
 def _newton_transient(circuit: Circuit, states: dict[str, dict],
                       start: np.ndarray, time: float, dt: float, method: str,
                       temperature: float, gmin: float, max_iterations: int,
-                      tolerance: float, damping: float) -> tuple[np.ndarray, bool, int]:
+                      tolerance: float, damping: float,
+                      stamper=None) -> tuple[np.ndarray, bool, int]:
     """Damped Newton iteration for one timestep (warm-started)."""
     voltages = start.copy()
     for iteration in range(1, max_iterations + 1):
         stamper = circuit.stamp_transient(voltages, states, time, dt, method,
-                                          temperature, gmin=gmin)
+                                          temperature, gmin=gmin,
+                                          stamper=stamper)
         try:
             new_voltages = stamper.solve()
         except np.linalg.LinAlgError:
@@ -208,7 +229,15 @@ def _collect_breakpoints(circuit: Circuit, t_stop: float) -> list[float]:
     for point in sorted(points):
         if 0.0 < point < t_stop and (not merged or point - merged[-1] > 1e-15 * t_stop):
             merged.append(point)
-    merged.append(t_stop)
+    # The last entry is always exactly t_stop.  A kept waveform breakpoint
+    # within the controller's time tolerance (eps = 1e-12 * t_stop) of
+    # t_stop merges into it: landing on such a breakpoint would otherwise
+    # leave a final sliver step that either ends the sweep short of t_stop
+    # or underflows dt_min after a single rejection.
+    if merged and t_stop - merged[-1] <= 1e-12 * t_stop:
+        merged[-1] = t_stop
+    else:
+        merged.append(t_stop)
     return merged
 
 
@@ -245,6 +274,7 @@ def transient_analysis(circuit: Circuit, t_stop: float,
                        damping: float = 0.5,
                        max_steps: int = 200_000,
                        operating_point: OperatingPoint | None = None,
+                       solver: str = "auto",
                        ) -> TransientResult:
     """Integrate ``circuit`` from its DC initial condition to ``t_stop``.
 
@@ -272,6 +302,10 @@ def transient_analysis(circuit: Circuit, t_stop: float,
         Pre-computed initial condition; by default
         :func:`transient_operating_point` is solved (waveform sources held at
         their t = 0 values).
+    solver:
+        ``"auto"`` (dense below ``SPARSE_SIZE_THRESHOLD`` unknowns, CSR +
+        SuperLU at and above it -- matching the DC and batched-transient
+        policies), ``"dense"`` or ``"sparse"``.
 
     Raises
     ------
@@ -295,6 +329,7 @@ def transient_analysis(circuit: Circuit, t_stop: float,
         temperature = float(operating_point.temperature)
     circuit.ensure_indices()
     observed = list(observe) if observe is not None else circuit.nodes
+    solver = _resolve_solver(circuit.n_nodes + circuit.n_branches, solver)
     dt_initial = t_stop * 1e-4 if dt_initial is None else float(dt_initial)
     dt_min = t_stop * 1e-12 if dt_min is None else float(dt_min)
     dt_max = t_stop / 50.0 if dt_max is None else float(dt_max)
@@ -308,6 +343,9 @@ def transient_analysis(circuit: Circuit, t_stop: float,
     states = circuit.init_transient_states(operating_point, temperature)
     n_nodes = circuit.n_nodes
     eps = t_stop * 1e-12
+    # One stamper for the whole sweep: every Newton iteration of every step
+    # resets and restamps it in place instead of reallocating.
+    stamper = circuit.make_dc_stamper(solver)
 
     t = 0.0
     solution = operating_point.voltages.copy()
@@ -340,7 +378,8 @@ def transient_analysis(circuit: Circuit, t_stop: float,
 
         new_solution, converged, iterations = _newton_transient(
             circuit, states, solution, t_new, dt, method, temperature,
-            _TRANSIENT_GMIN, max_newton_iterations, newton_tolerance, damping)
+            _TRANSIENT_GMIN, max_newton_iterations, newton_tolerance, damping,
+            stamper=stamper)
         n_newton += iterations
         if not converged:
             n_rejected += 1
@@ -408,3 +447,462 @@ def transient_analysis(circuit: Circuit, t_stop: float,
     return TransientResult(times=times_array, node_voltages=responses,
                            n_accepted=n_accepted, n_rejected=n_rejected,
                            n_newton_iterations=n_newton)
+
+
+# --------------------------------------------------------------------- #
+# batched transient                                                      #
+# --------------------------------------------------------------------- #
+def transient_operating_point_batch(circuits, temperature=27.0,
+                                    ) -> list[OperatingPoint]:
+    """Batched :func:`transient_operating_point`.
+
+    Every waveform source in every circuit is held at its t = 0 value while
+    :func:`repro.spice.dc.dc_operating_point_batch` solves the whole batch;
+    the ``dc`` attributes are restored afterwards.  ``temperature`` may be a
+    scalar or a length-``B`` array.
+    """
+    circuits = list(circuits)
+    overridden = []
+    try:
+        for circuit in circuits:
+            for device in circuit.devices:
+                waveform = getattr(device, "waveform", None)
+                if waveform is not None:
+                    overridden.append((device, device.dc))
+                    device.dc = waveform.value_at(0.0)
+        return dc_operating_point_batch(circuits, temperature=temperature)
+    finally:
+        for device, dc in overridden:
+            device.dc = dc
+
+
+class _TranBatchAssembler:
+    """Assembles the batched companion-model system for active designs.
+
+    Transient analogue of :class:`repro.spice.dc._BatchAssembler`: the batch
+    is transposed into per-device sibling columns, each device's vectorized
+    ``transient_batch_context`` is precomputed over the *full* batch, and
+    arbitrary in-flight subsets stamp by slicing those contexts row-wise.
+    The dense :class:`BatchStamper` / sparse :class:`SparseBatchStamper` are
+    cached across Newton iterations, so the sparse triplet pattern locks
+    after the first assembly and its symbolic analysis (column ordering and
+    the CSR-to-CSC mapping) is shared by every subsequent factorization.
+    """
+
+    #: Gather memo bound: distinct active sets over a transient run scale
+    #: with the number of designs finishing, not with iteration count, so
+    #: the cache normally never fills; the cap only guards pathological
+    #: churn.
+    _GATHER_CACHE_MAX = 128
+
+    def __init__(self, circuits: list[Circuit], temperatures: np.ndarray,
+                 states_by_design: list, solver: str, shared_symbolic: bool):
+        first = circuits[0]
+        self.n_nodes = first.n_nodes
+        self.n_branches = first.n_branches
+        self.size = self.n_nodes + self.n_branches
+        self.temperatures = temperatures
+        self.solver = solver
+        self.shared_symbolic = shared_symbolic
+        self.columns = [tuple(circuit.devices[position] for circuit in circuits)
+                        for position in range(len(first.devices))]
+        self.contexts = [column[0].transient_batch_context(list(column),
+                                                          temperatures)
+                        for column in self.columns]
+        # Per-column list of per-design state dicts (references -- commits
+        # mutate them in place).  Designs whose initial condition failed
+        # carry None; they never enter the active set, so the placeholder is
+        # never dereferenced.
+        self.column_states = [
+            [None if states_by_design[b] is None
+             else states_by_design[b][column[0].name]
+             for b in range(len(circuits))]
+            for column in self.columns]
+        self._gather_cache: dict[bytes, tuple] = {}
+        self._dense_stamper: BatchStamper | None = None
+        self._sparse_stamper: SparseBatchStamper | None = None
+
+    def _gather(self, indices: np.ndarray) -> tuple:
+        key = indices.tobytes()
+        cached = self._gather_cache.get(key)
+        if cached is None:
+            if len(self._gather_cache) >= self._GATHER_CACHE_MAX:
+                self._gather_cache.clear()
+            index_list = indices.tolist()
+            siblings = [[column[i] for i in index_list]
+                        for column in self.columns]
+            contexts = [None if context is None
+                        else {name: values[indices]
+                              for name, values in context.items()}
+                        for context in self.contexts]
+            states = [[column[i] for i in index_list]
+                      for column in self.column_states]
+            temperatures = self.temperatures[indices]
+            cached = (siblings, contexts, states, temperatures)
+            self._gather_cache[key] = cached
+        return cached
+
+    def assemble(self, indices: np.ndarray, voltages: np.ndarray,
+                 times: np.ndarray, dts: np.ndarray, trap: np.ndarray):
+        """Stamp the in-flight designs ``indices`` at their Newton iterates."""
+        batch_size = len(indices)
+        if self.solver == "sparse":
+            stamper = self._sparse_stamper
+            if stamper is None or stamper.batch_size != batch_size:
+                stamper = SparseBatchStamper(
+                    batch_size, self.n_nodes, self.n_branches,
+                    shared_symbolic=self.shared_symbolic)
+                self._sparse_stamper = stamper
+            else:
+                stamper.reset()
+        else:
+            stamper = self._dense_stamper
+            if stamper is None or stamper.batch_size != batch_size:
+                stamper = BatchStamper(batch_size, self.n_nodes,
+                                       self.n_branches)
+                self._dense_stamper = stamper
+            else:
+                stamper.reset()
+        siblings, contexts, states, temperatures = self._gather(indices)
+        # One errstate frame for the whole stamp loop, like the DC assembler.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for position, column in enumerate(self.columns):
+                column[0].stamp_transient_batch(
+                    stamper, siblings[position], voltages, states[position],
+                    times, dts, trap, temperatures, contexts[position])
+        # The serial sweep always applies _TRANSIENT_GMIN, so this stamp is
+        # unconditional -- which also keeps the locked sparse pattern stable.
+        stamper.add_gmin(_TRANSIENT_GMIN)
+        return stamper
+
+
+def _solve_rows_transient(stamper, size: int, errors: list) -> np.ndarray:
+    """Per-design transient solve fallback after a singular stacked solve.
+
+    Replicates the serial chain per design: direct solve, then
+    least-squares.  Serially a least-squares failure would propagate out of
+    the analysis; here it is recorded in ``errors`` (aligned with the active
+    designs) and the row is left NaN for the finite check to catch.
+    """
+    out = np.empty((stamper.batch_size, size))
+    for b in range(stamper.batch_size):
+        try:
+            out[b] = stamper.solve_design(b)
+        except np.linalg.LinAlgError:
+            try:
+                out[b] = stamper.solve_lstsq_design(b)
+            except np.linalg.LinAlgError as exc:
+                errors[b] = exc
+                out[b] = np.nan
+    return out
+
+
+class _TranDesign:
+    """Controller state of one design inside a batched transient sweep."""
+
+    __slots__ = ("index", "circuit", "temperature", "states", "t", "dt",
+                 "solution", "times", "solutions", "history", "breakpoints",
+                 "next_break", "n_accepted", "n_rejected", "n_newton",
+                 "t_new", "method", "hit_break", "iterate",
+                 "attempt_iterations", "finished", "error")
+
+    def __init__(self, index: int, circuit: Circuit, temperature: float):
+        self.index = index
+        self.circuit = circuit
+        self.temperature = temperature
+        self.states: dict[str, dict] | None = None
+        self.t = 0.0
+        self.dt = 0.0
+        self.solution: np.ndarray | None = None
+        self.times: list[float] = [0.0]
+        self.solutions: list[np.ndarray] = []
+        self.history: list[tuple[float, np.ndarray]] = []
+        self.breakpoints: list[float] = []
+        self.next_break = 0
+        self.n_accepted = 0
+        self.n_rejected = 0
+        self.n_newton = 0
+        self.t_new = 0.0
+        self.method = "be"
+        self.hit_break = False
+        self.iterate: np.ndarray | None = None
+        self.attempt_iterations = 0
+        self.finished = False
+        self.error: Exception | None = None
+
+
+def transient_analysis_batch(circuits, t_stop: float,
+                             observe: list[str] | None = None,
+                             temperature=None,
+                             dt_initial: float | None = None,
+                             dt_min: float | None = None,
+                             dt_max: float | None = None,
+                             reltol: float = 1e-4, abstol: float = 1e-6,
+                             newton_tolerance: float = 1e-9,
+                             max_newton_iterations: int = 50,
+                             damping: float = 0.5,
+                             max_steps: int = 200_000,
+                             operating_points: list[OperatingPoint] | None = None,
+                             solver: str = "auto",
+                             shared_symbolic: bool = False,
+                             return_errors: bool = False) -> list:
+    """Transient analysis of ``B`` topology-identical circuits at once.
+
+    Each design runs the exact serial timestep controller -- its own time,
+    timestep, BE/trap switching, LTE accept/reject decisions and breakpoint
+    schedule -- but the Newton solves of all in-flight designs are batched:
+    one stacked assembly and solve per iteration.  Designs step
+    *asynchronously* (one may be on its 40th accepted step while another is
+    still rejecting its 2nd); a design leaves the batch only when it reaches
+    ``t_stop`` or fails.  Results are bit-identical to
+    :func:`transient_analysis` per circuit with the same ``solver``:
+    identical accepted times, waveforms and accept/reject/Newton counters.
+
+    Parameters mirror :func:`transient_analysis`, plus:
+
+    temperature:
+        Scalar or length-``B`` array of per-design temperatures.  Defaults
+        to each supplied operating point's temperature (27 when the initial
+        conditions are solved here).  Per design, a value disagreeing with a
+        supplied operating point is deprecated and the operating point wins,
+        exactly like the serial driver.
+    operating_points:
+        Pre-computed initial conditions, one per circuit; by default
+        :func:`transient_operating_point_batch` solves them.
+    shared_symbolic:
+        Sparse batches only: reuse design 0's column permutation for every
+        factorization instead of re-running the ordering heuristic per
+        design.  Results then agree with serial to solver round-off
+        (~1e-15 relative) rather than bit-exactly; leave off (the default)
+        when bitwise reproducibility matters more than the symbolic-phase
+        saving.
+    return_errors:
+        When set, per-design failures (:class:`ConvergenceError`, singular
+        systems) are returned as exception objects in the result list
+        instead of raising; the default raises the first failure.
+
+    Returns
+    -------
+    list
+        One entry per circuit: a :class:`TransientResult`, or (with
+        ``return_errors``) the exception that design raised.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        return []
+    if t_stop <= 0.0:
+        raise ValueError(f"t_stop must be positive, got {t_stop}")
+    _check_batch_topology(circuits)
+    first = circuits[0]
+    size = first.n_nodes + first.n_branches
+    batch_size = len(circuits)
+    solver = _resolve_solver(size, solver)
+
+    if operating_points is not None:
+        operating_points = list(operating_points)
+        if len(operating_points) != batch_size:
+            raise ValueError(
+                f"operating_points must have one entry per circuit "
+                f"({batch_size}), got {len(operating_points)}")
+    if temperature is None:
+        if operating_points is not None:
+            temperatures = np.array([float(op.temperature)
+                                     for op in operating_points])
+        else:
+            temperatures = np.full(batch_size, 27.0)
+    else:
+        temperatures = np.asarray(temperature, dtype=float)
+        if temperatures.ndim == 0:
+            temperatures = np.full(batch_size, float(temperatures))
+        elif temperatures.shape != (batch_size,):
+            raise ValueError(f"temperature must be a scalar or have shape "
+                             f"({batch_size},), got {temperatures.shape}")
+        else:
+            temperatures = temperatures.copy()
+        if operating_points is not None:
+            for b, op in enumerate(operating_points):
+                if float(temperatures[b]) != float(op.temperature):
+                    warnings.warn(
+                        "passing temperature= alongside operating_point= is "
+                        "deprecated when the two disagree; the operating "
+                        f"point's temperature ({op.temperature:g}C) is used "
+                        "so the companion models stay consistent with the "
+                        "bias", DeprecationWarning, stacklevel=2)
+                    temperatures[b] = float(op.temperature)
+    if operating_points is None:
+        operating_points = transient_operating_point_batch(circuits,
+                                                           temperatures)
+
+    observed = list(observe) if observe is not None else first.nodes
+    dt_initial = t_stop * 1e-4 if dt_initial is None else float(dt_initial)
+    dt_min = t_stop * 1e-12 if dt_min is None else float(dt_min)
+    dt_max = t_stop / 50.0 if dt_max is None else float(dt_max)
+    n_nodes = first.n_nodes
+    eps = t_stop * 1e-12
+
+    designs = [_TranDesign(b, circuit, float(temperatures[b]))
+               for b, circuit in enumerate(circuits)]
+    states_by_design: list = [None] * batch_size
+    for d, op in zip(designs, operating_points):
+        if not op.converged:
+            d.error = ConvergenceError(
+                f"transient initial condition of {d.circuit.title!r} "
+                f"did not converge")
+            continue
+        d.states = d.circuit.init_transient_states(op, d.temperature)
+        states_by_design[d.index] = d.states
+        d.solution = op.voltages.copy()
+        d.solutions = [d.solution.copy()]
+        d.history = [(0.0, d.solution.copy())]
+        d.breakpoints = _collect_breakpoints(d.circuit, t_stop)
+        d.dt = min(dt_initial, dt_max, d.breakpoints[0])
+
+    assembler = _TranBatchAssembler(circuits, temperatures, states_by_design,
+                                    solver, shared_symbolic)
+
+    def _begin_attempt(d: _TranDesign) -> None:
+        """Serial loop-top bookkeeping for one design's next step attempt."""
+        if d.n_accepted + d.n_rejected >= max_steps:
+            d.error = ConvergenceError(
+                f"transient analysis of {d.circuit.title!r} exceeded "
+                f"{max_steps} steps at t={d.t:.3e}s")
+            return
+        while d.breakpoints[d.next_break] <= d.t + eps:
+            d.next_break += 1
+        d.dt = min(d.dt, dt_max, t_stop - d.t)
+        d.hit_break = d.t + d.dt >= d.breakpoints[d.next_break] - eps
+        if d.hit_break:
+            d.dt = d.breakpoints[d.next_break] - d.t
+        d.method = "be" if len(d.history) < 3 else "trap"
+        d.t_new = d.t + d.dt
+        # The serial stamp loop injects time/method into every device state
+        # on each Newton iteration with these exact values; once per attempt
+        # is observationally identical.
+        for state in d.states.values():
+            state["time"] = d.t_new
+            state["method"] = d.method
+        d.iterate = d.solution.copy()
+        d.attempt_iterations = 0
+
+    def _finish_attempt(d: _TranDesign, converged: bool) -> None:
+        """The serial post-Newton controller for one design's attempt."""
+        new_solution = d.iterate
+        if not converged:
+            d.n_rejected += 1
+            d.dt *= 0.25
+            if d.dt < dt_min:
+                d.error = ConvergenceError(
+                    f"transient Newton iteration of {d.circuit.title!r} "
+                    f"failed at t={d.t_new:.3e}s with dt={d.dt:.3e}s")
+                return
+            _begin_attempt(d)
+            return
+        error_ratio = None
+        if len(d.history) >= 2:
+            order = 3 if d.method == "trap" else 2
+            sample = d.history[-order:] + [(d.t_new, new_solution)]
+            dd = _divided_difference([s[0] for s in sample],
+                                     [s[1][:n_nodes] for s in sample])
+            lte = (0.5 * d.dt**3 * np.abs(dd) if d.method == "trap"
+                   else d.dt**2 * np.abs(dd))
+            tolerance = (reltol * np.maximum(np.abs(new_solution[:n_nodes]),
+                                             np.abs(d.solution[:n_nodes]))
+                         + abstol)
+            error_ratio = float(np.max(lte / tolerance))
+            if error_ratio > 1.0:
+                d.n_rejected += 1
+                d.dt *= max(0.1, 0.9 * error_ratio ** (-1.0 / order))
+                if d.dt < dt_min:
+                    d.error = ConvergenceError(
+                        f"transient timestep of {d.circuit.title!r} "
+                        f"underflowed at t={d.t_new:.3e}s (LTE never "
+                        f"satisfied)")
+                    return
+                _begin_attempt(d)
+                return
+
+        d.circuit.commit_transient(new_solution, d.states, d.dt,
+                                   d.temperature)
+        d.t = d.t_new
+        d.solution = new_solution
+        d.n_accepted += 1
+        d.times.append(d.t)
+        d.solutions.append(d.solution.copy())
+        d.history.append((d.t, d.solution.copy()))
+        if len(d.history) > 3:
+            d.history.pop(0)
+
+        if d.hit_break:
+            d.history = [(d.t, d.solution.copy())]
+            d.dt = min(dt_initial, dt_max)
+        elif error_ratio is None:
+            d.dt = min(d.dt * 2.0, dt_max)
+        else:
+            order = 3 if d.method == "trap" else 2
+            factor = 0.9 * max(error_ratio, 1e-10) ** (-1.0 / order)
+            d.dt = min(d.dt * min(2.0, max(0.3, factor)), dt_max)
+
+        if d.t < t_stop - eps:
+            _begin_attempt(d)
+        else:
+            d.finished = True
+
+    for d in designs:
+        if d.error is None:
+            _begin_attempt(d)
+    active = [d for d in designs if d.error is None and not d.finished]
+
+    while active:
+        indices = np.array([d.index for d in active])
+        voltages = np.stack([d.iterate for d in active])
+        times = np.array([d.t_new for d in active])
+        dts = np.array([d.dt for d in active])
+        trap = np.array([d.method == "trap" for d in active])
+        stamper = assembler.assemble(indices, voltages, times, dts, trap)
+        solve_errors: list = [None] * len(active)
+        try:
+            new_voltages = stamper.solve()
+        except np.linalg.LinAlgError:
+            new_voltages = _solve_rows_transient(stamper, assembler.size,
+                                                 solve_errors)
+        finite = np.isfinite(new_voltages).all(axis=1)
+        delta = new_voltages - voltages
+        step = np.clip(delta, -damping, damping)
+        still_active = []
+        for i, d in enumerate(active):
+            d.attempt_iterations += 1
+            d.n_newton += 1
+            if solve_errors[i] is not None:
+                d.error = solve_errors[i]
+            elif not finite[i]:
+                # Serial bails without applying the update.
+                _finish_attempt(d, False)
+            else:
+                d.iterate = voltages[i] + step[i]
+                if float(np.max(np.abs(delta[i]))) < newton_tolerance:
+                    _finish_attempt(d, True)
+                elif d.attempt_iterations >= max_newton_iterations:
+                    _finish_attempt(d, False)
+            if d.error is None and not d.finished:
+                still_active.append(d)
+        active = still_active
+
+    outcomes: list = []
+    for d in designs:
+        if d.error is not None:
+            if not return_errors:
+                raise d.error
+            outcomes.append(d.error)
+            continue
+        times_array = np.array(d.times)
+        stacked = np.stack(d.solutions, axis=0)
+        responses: dict[str, np.ndarray] = {}
+        for node in observed:
+            index = d.circuit.node_index(node)
+            responses[node] = (np.zeros(times_array.shape[0]) if index < 0
+                               else stacked[:, index].copy())
+        outcomes.append(TransientResult(
+            times=times_array, node_voltages=responses,
+            n_accepted=d.n_accepted, n_rejected=d.n_rejected,
+            n_newton_iterations=d.n_newton))
+    return outcomes

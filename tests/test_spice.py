@@ -252,6 +252,23 @@ class TestACAnalysis:
         assert result.unity_gain_frequency("out") == 0.0
         assert result.phase_margin_degrees("out") == 0.0
 
+    def test_above_unity_through_sweep_clamps_to_last_frequency(self):
+        # The other no-crossing branch: a sweep ending while the gain is
+        # still above 0 dB clamps to the final analysed frequency (a
+        # conservative lower bound on the true GBW), unlike the dead-output
+        # case above which reports 0.
+        circuit = Circuit()
+        circuit.add(VoltageSource("Vin", "in", "0", ac=1.0))
+        circuit.add(VCCS("G1", "0", "out", "in", "0", gm=1e-3))
+        circuit.add(Resistor("Ro", "out", "0", 1e6))
+        circuit.add(Capacitor("Co", "out", "0", 1e-9))
+        op = dc_operating_point(circuit)
+        frequencies = logspace_frequencies(1, 1e3, 10)  # crossing ~159 kHz
+        result = ac_analysis(circuit, op, frequencies, observe=["out"])
+        assert np.all(result.magnitude_db("out") > 0.0)
+        assert result.unity_gain_frequency("out") == float(frequencies[-1])
+        assert result.phase_margin_degrees("out") > 0.0
+
     def test_gain_at_interpolation(self):
         circuit = self._rc_circuit()
         op = dc_operating_point(circuit)

@@ -113,6 +113,50 @@ class TestTransientSolver:
             rc_circuit(StepWaveform(0.0, 1.0, delay=delay)), 1e-6)
         assert np.min(np.abs(result.times - delay)) < 1e-18
 
+    def test_breakpoint_within_tolerance_of_t_stop_merges(self):
+        # Regression: a waveform edge within the controller's time
+        # tolerance (1e-12 * t_stop) of the end of the window used to be
+        # kept as its own breakpoint; landing on it ended the sweep one
+        # sliver step short of t_stop.  It must merge into t_stop instead.
+        t_stop = 1e-6
+        delay, rise, fall = 0.2e-6, 1e-8, 1e-8
+        width = (t_stop - 5e-19) - delay - rise - fall
+        pulse = PulseWaveform(initial=0.0, pulsed=1.0, delay=delay,
+                              rise=rise, fall=fall, width=width)
+        edges = pulse.breakpoints(t_stop)
+        assert any(0.0 < t_stop - edge <= 1e-12 * t_stop for edge in edges)
+        result = transient_analysis(rc_circuit(pulse), t_stop)
+        assert result.times[-1] == t_stop
+        assert np.all(np.diff(result.times) > 0)
+
+    def test_breakpoint_exactly_at_t_stop(self):
+        # An edge landing exactly on t_stop is not a separate breakpoint --
+        # the final time appears once and the grid stays strictly
+        # increasing.
+        t_stop = 1e-6
+        pwl = PWLWaveform([(0.0, 0.0), (0.5e-6, 1.0), (t_stop, 0.5)])
+        result = transient_analysis(rc_circuit(pwl), t_stop)
+        assert result.times[-1] == t_stop
+        assert np.all(np.diff(result.times) > 0)
+        assert np.min(np.abs(result.times - 0.5e-6)) < 1e-18
+
+    def test_breakpoints_denser_than_dt_initial(self):
+        # A pulse train whose edges are closer together than the startup
+        # timestep: the controller must land on every edge exactly rather
+        # than stepping over any.
+        t_stop = 1e-6
+        pulse = PulseWaveform(initial=0.0, pulsed=1.0, delay=0.0,
+                              rise=1e-9, fall=1e-9, width=4e-8,
+                              period=1e-7)
+        circuit = rc_circuit(pulse)
+        result = transient_analysis(circuit, t_stop, dt_initial=2e-7)
+        edges = [edge for edge in pulse.breakpoints(t_stop)
+                 if 0.0 < edge < t_stop]
+        assert max(np.diff(sorted(edges))) < 2e-7  # denser than dt_initial
+        for edge in edges:
+            assert np.min(np.abs(result.times - edge)) < 1e-18
+        assert result.times[-1] == t_stop
+
     def test_initial_condition_uses_waveform_start(self):
         # Step *down* from 1 V: the t=0 sample must sit at the waveform's
         # initial level, not at the source's dc attribute (0 V here).
@@ -223,6 +267,22 @@ class TestMeasurements:
         flat = TransientResult(times=np.linspace(0, 1, 11),
                                node_voltages={"out": np.full(11, 0.3)})
         assert flat.slew_rate("out") == 0.0
+
+    def test_zero_swing_measurements_are_zero(self):
+        # A dead output (no swing at all) must hit the zero-swing branch of
+        # every step-response measurement: no slew, settled from t=0, no
+        # overshoot -- and never a divide-by-zero.
+        flat = TransientResult(times=np.linspace(0, 1, 11),
+                               node_voltages={"out": np.full(11, 0.3)})
+        assert flat.slew_rate("out") == 0.0
+        assert flat.settling_time("out") == 0.0
+        assert flat.overshoot_percent("out") == 0.0
+        # Noise around an unchanged final value still has zero swing.
+        noisy = TransientResult(
+            times=np.linspace(0, 1, 11),
+            node_voltages={"out": 0.3 + 1e-16 * np.arange(11.0)})
+        assert noisy.slew_rate("out") == 0.0
+        assert noisy.overshoot_percent("out") == 0.0
 
     def test_overshoot_of_damped_ringing(self):
         times = np.linspace(0.0, 10.0, 4001)
