@@ -19,6 +19,13 @@ SCALE = os.environ.get("KATO_BENCH_SCALE", "quick").lower()
 #: lines) to this file, so CI can upload the records as a workflow artifact.
 BENCH_RECORDS_PATH = os.environ.get("KATO_BENCH_RECORDS", "")
 
+#: Every BENCH record also lands in a per-benchmark ``BENCH_<name>.json``
+#: here (the repo root, git-ignored), in the shape ``python -m repro db
+#: ingest-bench`` reads, so local runs flow into a results store with no
+#: extra flags.  Point ``KATO_BENCH_DIR`` elsewhere to redirect.
+BENCH_DIR = os.environ.get(
+    "KATO_BENCH_DIR", os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
 #: Formatted tables recorded by the benchmarks, echoed after the run so they
 #: survive pytest's stdout capture (these are the rows/series the paper reports).
 _REPORTS: list[str] = []
@@ -38,9 +45,10 @@ def record_report(text: str) -> None:
 def record_bench(name: str, record: dict) -> None:
     """Emit one machine-readable ``NAME {json}`` line for CI regression tracking.
 
-    The line goes to stdout (greppable in the pytest log) and, when
+    The line goes to stdout (greppable in the pytest log); when
     ``KATO_BENCH_RECORDS`` names a file, to that JSONL file as well so the
-    records survive as a workflow artifact.
+    records survive as a workflow artifact; and always to
+    ``BENCH_<name>.json`` under ``KATO_BENCH_DIR`` for ``db ingest-bench``.
     """
     print()
     print(f"{name} " + json.dumps(record, sort_keys=True))
@@ -48,6 +56,24 @@ def record_bench(name: str, record: dict) -> None:
         with open(BENCH_RECORDS_PATH, "a", encoding="utf-8") as handle:
             handle.write(json.dumps({"bench_record": name, **record},
                                     sort_keys=True) + "\n")
+    _append_bench_json(name, record)
+
+
+def _append_bench_json(name: str, record: dict) -> None:
+    """Accumulate a record into this benchmark's ``BENCH_<name>.json``."""
+    path = os.path.join(BENCH_DIR, f"{name}.json")
+    payload = {"name": name, "records": []}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing.get("records"), list):
+            payload = existing
+    except (OSError, ValueError):
+        pass  # absent or corrupt: start fresh
+    payload["records"].append(record)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -77,6 +77,13 @@ class ExecutionBackend:
     #: everywhere automatically.  Pure map-style backends leave it False.
     batched = False
 
+    #: Capability flag for job-shaped dispatch: the evaluation engine hands
+    #: a backend advertising this the whole pending design block via
+    #: ``map_jobs(problem, rows)`` instead of per-row ``map`` tasks, so the
+    #: backend can ship work to external processes as serialized jobs (see
+    #: :class:`repro.service.queue.QueueBackend`).
+    job_dispatch = False
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item and return results in input order."""
         raise NotImplementedError

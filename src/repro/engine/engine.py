@@ -189,7 +189,17 @@ class EvaluationEngine:
         Both paths return, per row, either an :class:`EvaluatedDesign` or a
         :class:`_TaskFailure` -- and the batched path is bit-identical to
         serial, so backend choice never changes recorded results.
+
+        A backend advertising ``job_dispatch`` (the study service's
+        :class:`~repro.service.queue.QueueBackend`) gets the whole pending
+        block as one ``map_jobs`` call instead: it ships the rows to
+        external workers as queue jobs and returns the same per-row
+        ``EvaluatedDesign``-or-``_TaskFailure`` contract, so failure
+        isolation and caching behave identically to in-process evaluation.
         """
+        if getattr(self.backend, "job_dispatch", False):
+            return self.backend.map_jobs(self.problem,
+                                         [x[index] for index in pending])
         if (getattr(self.backend, "batched", False)
                 and getattr(self.problem, "supports_batch_simulation", False)):
             from repro.circuits.base import simulate_checked_batch

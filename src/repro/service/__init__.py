@@ -1,0 +1,61 @@
+"""The study service: shared results store, leased workers, HTTP API.
+
+The batched simulation core made one process fast; this package makes many
+processes cooperate.  It has three layers, each usable on its own:
+
+* :mod:`repro.service.store` -- a WAL-mode SQLite **results store** holding
+  studies, their per-batch evaluation records, queue jobs, worker heartbeats
+  and ingested BENCH records.  :class:`~repro.service.store.StoreCheckpoint`
+  plugs the store into the existing
+  :class:`~repro.study.checkpoint.StudyCheckpoint` seam, so
+  ``Study(spec, checkpoint=StoreCheckpoint(db, study_id))`` checkpoints into
+  the database with the same bit-identical resume guarantee as the JSONL
+  files it graduates.
+* :mod:`repro.service.queue` / :mod:`repro.service.worker` -- a **work
+  queue** with time-limited leases.  The study driver enqueues evaluation
+  batches as JSON jobs (:class:`~repro.service.queue.QueueBackend`, an
+  :class:`~repro.engine.backends.ExecutionBackend` the engine recognises via
+  its ``job_dispatch`` flag); workers started with ``python -m repro
+  worker`` claim jobs, heartbeat their leases and write results back.  A
+  killed worker's lease expires and the job is re-leased, so the study's
+  final history is identical to a single-worker run.
+* :mod:`repro.service.api` -- a dependency-free **HTTP API and dashboard**
+  (``python -m repro dashboard``): study listings, per-batch progress,
+  best-so-far curves, Pareto fronts, worker/lease health and BENCH
+  trajectories, all straight out of the store.
+
+:func:`repro.service.driver.run_service_study` ties the layers together for
+``python -m repro run --db ...``.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_LAZY_ATTRS = {
+    "ResultsStore": "repro.service.store",
+    "StoreCheckpoint": "repro.service.store",
+    "StoreError": "repro.service.store",
+    "WorkQueue": "repro.service.queue",
+    "QueueBackend": "repro.service.queue",
+    "Job": "repro.service.queue",
+    "Worker": "repro.service.worker",
+    "run_worker": "repro.service.worker",
+    "run_service_study": "repro.service.driver",
+    "resume_service_study": "repro.service.driver",
+    "create_server": "repro.service.api",
+    "serve_dashboard": "repro.service.api",
+}
+
+__all__ = sorted(_LAZY_ATTRS)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_ATTRS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_ATTRS))

@@ -1,0 +1,540 @@
+"""The HTTP status API and dashboard (no dependencies beyond stdlib).
+
+``python -m repro dashboard --db results.db`` serves, straight out of the
+results store:
+
+====================================  ====================================
+``GET /healthz``                      liveness + db path
+``GET /api/studies``                  study list with progress aggregates
+``GET /api/studies/<id>``             spec, status, progress, best-so-far
+``GET /api/studies/<id>/batches``     per-batch records (``?since=K`` for
+                                      incremental streaming)
+``GET /api/studies/<id>/history``     flat evaluations (x, objective, ...)
+``GET /api/studies/<id>/curve``       best-so-far objective per simulation
+``GET /api/studies/<id>/pareto``      non-dominated front over chosen
+                                      metrics (``?metrics=a,b&senses=min,max``)
+``GET /api/workers``                  worker heartbeats + lease health
+``GET /api/jobs``                     queue counts (``?study=<id>``)
+``GET /api/bench``                    ingested BENCH records (``?name=``)
+``GET /api/problems``                 the ``list-problems --json`` listing
+``GET /api/optimizers``               the ``list-optimizers --json`` listing
+``GET /``                             the HTML dashboard
+====================================  ====================================
+
+Built on :class:`http.server.ThreadingHTTPServer`; the store's per-thread
+connections make concurrent requests safe, and WAL mode means the dashboard
+never blocks the drivers and workers writing to the same file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from repro.service.queue import WorkQueue
+from repro.service.store import ResultsStore
+
+
+class ApiError(Exception):
+    """An error with an HTTP status (404 unknown study, 400 bad query)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+# ---------------------------------------------------------------------- #
+# query helpers (pure functions over the store, unit-testable)            #
+# ---------------------------------------------------------------------- #
+def _study_or_404(store: ResultsStore, study_id: str) -> dict:
+    row = store.study_row(study_id)
+    if row is None:
+        raise ApiError(404, f"unknown study {study_id!r}")
+    return dict(row)
+
+
+def _eval_value(row: dict, metrics: dict, name: str) -> float:
+    if name in ("objective", "violation"):
+        return float(row[name])
+    if name == "feasible":
+        return float(row["feasible"])
+    if name in metrics:
+        return float(metrics[name])
+    raise ApiError(400, f"evaluation has no metric {name!r}; "
+                        f"known: objective, violation, feasible, "
+                        f"{sorted(metrics)}")
+
+
+def study_summary(store: ResultsStore, study: dict,
+                  sense: str = "min") -> dict:
+    rows = store.evaluation_rows(study["study_id"])
+    spec = json.loads(study["spec"])
+    best = None
+    if rows:
+        candidates = [r for r in rows if r["feasible"]] or list(rows)
+        pick = min if sense != "max" else max
+        best_row = pick(candidates, key=lambda r: r["objective"])
+        best = {
+            "objective": float(best_row["objective"]),
+            "feasible": bool(best_row["feasible"]),
+            "violation": float(best_row["violation"]),
+            "metrics": json.loads(best_row["metrics"]),
+            "x": json.loads(best_row["x"]),
+            "batch_index": int(best_row["batch_index"]),
+        }
+    n_batches = len(store.batch_rows(study["study_id"]))
+    return {
+        "study_id": study["study_id"],
+        "status": study["status"],
+        "stop_reason": study["stop_reason"],
+        "optimizer": spec.get("optimizer"),
+        "circuit": spec.get("circuit"),
+        "seed": int(study["seed"]),
+        "n_batches": n_batches,
+        "n_evaluations": len(rows),
+        "budget": spec.get("n_simulations"),
+        "best": best,
+        "created_at": study["created_at"],
+        "updated_at": study["updated_at"],
+    }
+
+
+def study_detail(store: ResultsStore, study_id: str,
+                 sense: str = "min") -> dict:
+    study = _study_or_404(store, study_id)
+    detail = study_summary(store, study, sense=sense)
+    detail["spec"] = json.loads(study["spec"])
+    queue = WorkQueue(store)
+    detail["jobs"] = queue.counts(study_id)
+    return detail
+
+
+def study_batches(store: ResultsStore, study_id: str,
+                  since: int | None = None) -> list[dict]:
+    _study_or_404(store, study_id)
+    out = []
+    for row in store.batch_rows(study_id, since=since):
+        record = json.loads(row["record"])
+        evaluations = record.get("evaluations", [])
+        objectives = [e["objective"] for e in evaluations]
+        out.append({
+            "batch_index": int(row["batch_index"]),
+            "phase": row["phase"],
+            "n_total": int(row["n_total"]),
+            "n_evaluations": len(evaluations),
+            "n_feasible": sum(1 for e in evaluations if e.get("feasible")),
+            "objective_min": min(objectives) if objectives else None,
+            "objective_max": max(objectives) if objectives else None,
+            "created_at": row["created_at"],
+        })
+    return out
+
+
+def study_history(store: ResultsStore, study_id: str,
+                  limit: int | None = None) -> list[dict]:
+    _study_or_404(store, study_id)
+    rows = store.evaluation_rows(study_id)
+    if limit is not None:
+        rows = rows[-int(limit):]
+    return [{
+        "batch_index": int(row["batch_index"]),
+        "eval_index": int(row["eval_index"]),
+        "x": json.loads(row["x"]),
+        "objective": float(row["objective"]),
+        "feasible": bool(row["feasible"]),
+        "violation": float(row["violation"]),
+        "tag": row["tag"],
+        "metrics": json.loads(row["metrics"]),
+    } for row in rows]
+
+
+def study_curve(store: ResultsStore, study_id: str,
+                sense: str = "min") -> dict:
+    """Best-so-far objective per simulation (feasible-only when any are)."""
+    _study_or_404(store, study_id)
+    rows = store.evaluation_rows(study_id)
+    better = (lambda a, b: a > b) if sense == "max" else (lambda a, b: a < b)
+    worst = -np.inf if sense == "max" else np.inf
+    constrained = any(not r["feasible"] for r in rows)
+    best = worst
+    curve = []
+    for row in rows:
+        value = float(row["objective"])
+        if (not constrained or row["feasible"]) and better(value, best):
+            best = value
+        curve.append(None if best == worst else best)
+    return {"study_id": study_id, "sense": sense, "curve": curve,
+            "n_simulations": len(curve)}
+
+
+def study_pareto(store: ResultsStore, study_id: str,
+                 metrics: list[str] | None = None,
+                 senses: list[str] | None = None,
+                 feasible_only: bool = False) -> dict:
+    """The non-dominated front of a study's evaluations.
+
+    ``metrics`` are evaluation columns (``objective``, ``violation``,
+    ``feasible``) or recorded metric names; ``senses`` gives ``min``/``max``
+    per metric (default ``min``).  Defaults to the classic constrained view:
+    objective vs. constraint violation, both minimised.
+    """
+    from repro.moo.pareto import pareto_front_mask
+    _study_or_404(store, study_id)
+    metrics = metrics or ["objective", "violation"]
+    senses = senses or ["min"] * len(metrics)
+    if len(senses) != len(metrics):
+        raise ApiError(400, f"senses ({len(senses)}) must match metrics "
+                            f"({len(metrics)})")
+    for sense in senses:
+        if sense not in ("min", "max"):
+            raise ApiError(400, f"sense must be min or max, got {sense!r}")
+    rows = store.evaluation_rows(study_id)
+    if feasible_only:
+        rows = [r for r in rows if r["feasible"]]
+    points, kept = [], []
+    for row in rows:
+        metric_map = json.loads(row["metrics"])
+        try:
+            values = [_eval_value(row, metric_map, name) for name in metrics]
+        except ApiError:
+            raise
+        points.append([v if s == "min" else -v
+                       for v, s in zip(values, senses)])
+        kept.append((row, values))
+    front = []
+    if points:
+        mask = pareto_front_mask(np.asarray(points, dtype=float))
+        for (row, values), on_front in zip(kept, mask):
+            if on_front:
+                front.append({
+                    "batch_index": int(row["batch_index"]),
+                    "eval_index": int(row["eval_index"]),
+                    "values": dict(zip(metrics, values)),
+                    "objective": float(row["objective"]),
+                    "feasible": bool(row["feasible"]),
+                    "x": json.loads(row["x"]),
+                })
+    return {"study_id": study_id, "metrics": metrics, "senses": senses,
+            "n_evaluations": len(rows), "front": front,
+            "n_front": len(front)}
+
+
+def worker_health(store: ResultsStore, stale_after: float = 60.0) -> list[dict]:
+    now = time.time()
+    out = []
+    for row in store.list_workers():
+        age = now - row["heartbeat_at"]
+        out.append({**row,
+                    "heartbeat_age": age,
+                    "alive": row["status"] != "stopped" and age < stale_after})
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# the server                                                              #
+# ---------------------------------------------------------------------- #
+class _Routes:
+    """Shared, store-bound routing logic (one instance per server)."""
+
+    def __init__(self, store: ResultsStore):
+        self.store = store
+        self._listing_lock = threading.Lock()
+        self._listings: dict[str, list] = {}
+
+    def _registry_listing(self, kind: str) -> list[dict]:
+        # The registries are static per process; build each listing once
+        # (list-problems instantiates every problem, which is not free).
+        with self._listing_lock:
+            if kind not in self._listings:
+                from repro.study.cli import optimizer_entries, problem_entries
+                self._listings[kind] = (optimizer_entries() if kind == "optimizers"
+                                        else problem_entries())
+            return self._listings[kind]
+
+    def dispatch(self, path: str, query: dict) -> tuple[int, str, object]:
+        """Return ``(status, content_type, body)`` for one GET."""
+        first = lambda key, default=None: query.get(key, [default])[0]
+        store = self.store
+        if path in ("/", "/index.html"):
+            return 200, "text/html; charset=utf-8", _DASHBOARD_HTML
+        if path == "/healthz":
+            return 200, "application/json", {"status": "ok",
+                                             "db": store.path}
+        if path == "/api/studies":
+            sense = first("sense", "min")
+            return 200, "application/json", [
+                study_summary(store, study, sense=sense)
+                for study in store.list_studies()]
+        if path == "/api/workers":
+            return 200, "application/json", worker_health(
+                store, stale_after=float(first("stale_after", 60.0)))
+        if path == "/api/jobs":
+            queue = WorkQueue(store)
+            study = first("study")
+            body = {"counts": queue.counts(study)}
+            if first("detail") in ("1", "true"):
+                body["jobs"] = [
+                    {k: v for k, v in row.items() if k not in ("payload",
+                                                               "result")}
+                    for row in queue.job_rows(study)]
+            return 200, "application/json", body
+        if path == "/api/bench":
+            return 200, "application/json", store.bench_rows(first("name"))
+        if path == "/api/problems":
+            return 200, "application/json", self._registry_listing("problems")
+        if path == "/api/optimizers":
+            return 200, "application/json", self._registry_listing("optimizers")
+        if path.startswith("/api/studies/"):
+            parts = [p for p in path.split("/") if p][2:]  # after api/studies
+            study_id = parts[0]
+            tail = parts[1] if len(parts) > 1 else ""
+            if len(parts) > 2:
+                raise ApiError(404, f"no route {path!r}")
+            sense = first("sense", "min")
+            if tail == "":
+                return 200, "application/json", study_detail(
+                    store, study_id, sense=sense)
+            if tail == "batches":
+                since = first("since")
+                return 200, "application/json", study_batches(
+                    store, study_id,
+                    since=None if since is None else int(since))
+            if tail == "history":
+                limit = first("limit")
+                return 200, "application/json", study_history(
+                    store, study_id,
+                    limit=None if limit is None else int(limit))
+            if tail == "curve":
+                return 200, "application/json", study_curve(
+                    store, study_id, sense=sense)
+            if tail == "pareto":
+                metrics = first("metrics")
+                senses = first("senses")
+                return 200, "application/json", study_pareto(
+                    store, study_id,
+                    metrics=metrics.split(",") if metrics else None,
+                    senses=senses.split(",") if senses else None,
+                    feasible_only=first("feasible_only") in ("1", "true"))
+            raise ApiError(404, f"no route {path!r}")
+        raise ApiError(404, f"no route {path!r}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    #: Set by create_server on the handler class.
+    routes: _Routes = None  # type: ignore[assignment]
+    quiet = True
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        try:
+            status, content_type, body = self.routes.dispatch(
+                parsed.path, parse_qs(parsed.query))
+        except ApiError as exc:
+            status, content_type = exc.status, "application/json"
+            body = {"error": str(exc), "status": exc.status}
+        except Exception as exc:  # noqa: BLE001 - one request, not the server
+            status, content_type = 500, "application/json"
+            body = {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+        payload = (body if isinstance(body, str)
+                   else json.dumps(body, indent=2, default=str)).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - logging passthrough
+            super().log_message(format, *args)
+
+
+def create_server(store: ResultsStore | str, host: str = "127.0.0.1",
+                  port: int = 0, quiet: bool = True) -> ThreadingHTTPServer:
+    """Build (but do not start) the API server; ``port=0`` picks a free one.
+
+    Returns a :class:`ThreadingHTTPServer`; call ``serve_forever()`` (or
+    run it on a thread in tests) and ``shutdown()``/``server_close()`` when
+    done.  The bound port is ``server.server_address[1]``.
+    """
+    store = store if isinstance(store, ResultsStore) else ResultsStore(store)
+    handler = type("BoundHandler", (_Handler,),
+                   {"routes": _Routes(store), "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_dashboard(store: ResultsStore | str, host: str = "127.0.0.1",
+                    port: int = 8732, quiet: bool = False) -> None:
+    """Entry point behind ``python -m repro dashboard`` (blocks forever)."""
+    server = create_server(store, host=host, port=port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro dashboard serving http://{bound_host}:{bound_port}/ "
+          f"(db: {server.RequestHandlerClass.routes.store.path})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+
+
+# ---------------------------------------------------------------------- #
+# the dashboard page                                                      #
+# ---------------------------------------------------------------------- #
+_DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro study service</title>
+<style>
+  :root { color-scheme: light dark; }
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 1.5rem auto;
+         max-width: 72rem; padding: 0 1rem; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .28rem .6rem;
+           border-bottom: 1px solid #8884; font-variant-numeric: tabular-nums; }
+  th { font-weight: 600; }
+  tr.study { cursor: pointer; }
+  tr.selected { background: #4a90d922; }
+  .ok { color: #2e7d32; } .warn { color: #c62828; } .muted { opacity: .6; }
+  #curve { width: 100%; height: 120px; }
+  code { font-size: .85em; }
+  .pill { border: 1px solid #8886; border-radius: 999px; padding: 0 .5em; }
+</style>
+</head>
+<body>
+<h1>repro study service <span id="db" class="muted"></span></h1>
+
+<h2>Studies</h2>
+<table id="studies"><thead><tr>
+  <th>study</th><th>optimizer</th><th>circuit</th><th>status</th>
+  <th>evals / budget</th><th>batches</th><th>best objective</th>
+</tr></thead><tbody></tbody></table>
+
+<div id="detail" style="display:none">
+  <h2>Best-so-far <span id="detail-id" class="muted"></span></h2>
+  <svg id="curve" preserveAspectRatio="none"></svg>
+  <h2>Pareto front (objective vs. violation)</h2>
+  <div id="pareto" class="muted"></div>
+</div>
+
+<h2>Workers</h2>
+<table id="workers"><thead><tr>
+  <th>worker</th><th>host</th><th>status</th><th>jobs done</th>
+  <th>heartbeat age</th>
+</tr></thead><tbody></tbody></table>
+
+<h2>Queue</h2>
+<div id="jobs"></div>
+
+<h2>BENCH records</h2>
+<table id="bench"><thead><tr>
+  <th>name</th><th>latest record</th>
+</tr></thead><tbody></tbody></table>
+
+<script>
+let selected = null;
+const get = (url) => fetch(url).then(r => r.json());
+const cell = (text, cls) => {
+  const td = document.createElement('td');
+  td.textContent = text === null || text === undefined ? '-' : text;
+  if (cls) td.className = cls;
+  return td;
+};
+
+async function refreshStudies() {
+  const studies = await get('/api/studies');
+  const body = document.querySelector('#studies tbody');
+  body.replaceChildren();
+  for (const s of studies) {
+    const tr = document.createElement('tr');
+    tr.className = 'study' + (s.study_id === selected ? ' selected' : '');
+    tr.onclick = () => { selected = s.study_id; refreshDetail(); refreshStudies(); };
+    tr.append(
+      cell(s.study_id), cell(s.optimizer), cell(s.circuit),
+      cell(s.status, s.status === 'finished' ? 'ok'
+           : s.status === 'failed' ? 'warn' : ''),
+      cell(`${s.n_evaluations} / ${s.budget ?? '?'}`), cell(s.n_batches),
+      cell(s.best ? s.best.objective.toPrecision(6) : null));
+    body.append(tr);
+  }
+}
+
+async function refreshDetail() {
+  if (!selected) return;
+  document.getElementById('detail').style.display = '';
+  document.getElementById('detail-id').textContent = selected;
+  const data = await get(`/api/studies/${selected}/curve`);
+  const values = data.curve.filter(v => v !== null);
+  const svg = document.getElementById('curve');
+  svg.replaceChildren();
+  if (values.length > 1) {
+    const w = 1000, h = 120;
+    svg.setAttribute('viewBox', `0 0 ${w} ${h}`);
+    const lo = Math.min(...values), hi = Math.max(...values);
+    const span = (hi - lo) || 1;
+    const pts = values.map((v, i) =>
+      `${(i / (values.length - 1)) * w},${h - 8 - ((v - lo) / span) * (h - 16)}`);
+    const line = document.createElementNS('http://www.w3.org/2000/svg', 'polyline');
+    line.setAttribute('points', pts.join(' '));
+    line.setAttribute('fill', 'none');
+    line.setAttribute('stroke', '#4a90d9');
+    line.setAttribute('stroke-width', '2');
+    svg.append(line);
+  }
+  const pareto = await get(`/api/studies/${selected}/pareto`);
+  document.getElementById('pareto').textContent =
+    `${pareto.n_front} non-dominated of ${pareto.n_evaluations} evaluations: ` +
+    pareto.front.slice(0, 8).map(p =>
+      Object.entries(p.values).map(([k, v]) => `${k}=${v.toPrecision(4)}`).join(' ')
+    ).join('  |  ');
+}
+
+async function refreshInfra() {
+  const workers = await get('/api/workers');
+  const body = document.querySelector('#workers tbody');
+  body.replaceChildren();
+  for (const w of workers) {
+    const tr = document.createElement('tr');
+    tr.append(cell(w.worker_id), cell(w.hostname),
+              cell(w.status, w.alive ? 'ok' : 'muted'),
+              cell(w.n_jobs_done), cell(`${w.heartbeat_age.toFixed(1)}s`));
+    body.append(tr);
+  }
+  const jobs = await get('/api/jobs');
+  document.getElementById('jobs').innerHTML =
+    Object.entries(jobs.counts).map(([k, v]) =>
+      `<span class="pill">${k}: ${v}</span>`).join(' ');
+  const bench = await get('/api/bench');
+  const latest = new Map();
+  for (const b of bench) latest.set(b.name, b);
+  const benchBody = document.querySelector('#bench tbody');
+  benchBody.replaceChildren();
+  for (const [name, b] of latest) {
+    const tr = document.createElement('tr');
+    tr.append(cell(name), cell(JSON.stringify(b.record).slice(0, 160)));
+    benchBody.append(tr);
+  }
+}
+
+async function tick() {
+  try {
+    await Promise.all([refreshStudies(), refreshInfra(), refreshDetail()]);
+  } catch (e) { /* server restarting; retry on next tick */ }
+}
+get('/healthz').then(h => document.getElementById('db').textContent = h.db);
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"""

@@ -48,6 +48,9 @@ _LAZY_ATTRS = {
     "BenchRecordCallback": "repro.study.callbacks",
     "CheckpointError": "repro.study.checkpoint",
     "read_checkpoint": "repro.study.checkpoint",
+    "StudyCheckpoint": "repro.study.checkpoint",
+    "JSONLCheckpoint": "repro.study.checkpoint",
+    "coerce_checkpoint": "repro.study.checkpoint",
 }
 
 __all__ = [

@@ -219,6 +219,70 @@ def read_checkpoint(path: str | os.PathLike) -> CheckpointData:
 
 
 # ---------------------------------------------------------------------- #
+# checkpoint backends                                                     #
+# ---------------------------------------------------------------------- #
+class StudyCheckpoint:
+    """Where a study's batch records live (JSONL file, results store, ...).
+
+    A checkpoint backend answers two questions: *what has been recorded so
+    far* (:meth:`read`, returning :class:`CheckpointData`) and *where do new
+    records go* (:meth:`open_writer`, returning an object with the
+    :class:`CheckpointWriter` interface -- ``write_header`` /
+    ``write_batch`` / ``write_finish`` / ``close``).  :class:`Study` is
+    written against this interface only, so the JSONL file layout and the
+    SQLite results store (:class:`repro.service.store.StoreCheckpoint`) are
+    interchangeable -- resume bit-identity holds for any backend that
+    round-trips the records it was given.
+    """
+
+    #: Human-readable location, used in log lines and error messages.
+    description: str = "<checkpoint>"
+
+    def exists(self) -> bool:
+        """Whether any recorded state exists to resume from."""
+        raise NotImplementedError
+
+    def read(self) -> CheckpointData:
+        """Parse the recorded state (raises :class:`CheckpointError`)."""
+        raise NotImplementedError
+
+    def open_writer(self, resume_records: list[dict] | None = None):
+        """Open a writer; ``resume_records`` re-seeds existing progress."""
+        raise NotImplementedError
+
+
+class JSONLCheckpoint(StudyCheckpoint):
+    """The original single-file JSONL checkpoint as a backend object."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self.description = self.path
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def read(self) -> CheckpointData:
+        return read_checkpoint(self.path)
+
+    def open_writer(self, resume_records: list[dict] | None = None) -> CheckpointWriter:
+        return CheckpointWriter(self.path, resume_records=resume_records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JSONLCheckpoint({self.path!r})"
+
+
+def coerce_checkpoint(value) -> StudyCheckpoint | None:
+    """Normalise ``None`` / path / backend object to a checkpoint backend."""
+    if value is None or isinstance(value, StudyCheckpoint):
+        return value
+    if isinstance(value, (str, os.PathLike)):
+        return JSONLCheckpoint(value)
+    raise TypeError(
+        f"checkpoint must be a path or a StudyCheckpoint, got "
+        f"{type(value).__name__}")
+
+
+# ---------------------------------------------------------------------- #
 # resume support                                                          #
 # ---------------------------------------------------------------------- #
 def prime_cache(problem, evaluations) -> int:

@@ -88,6 +88,10 @@ class StudySpec:
     optimizer_options: dict[str, Any] = field(default_factory=dict)
     problem_options: dict[str, Any] = field(default_factory=dict)
     tag: str = ""                                #: free-form label for reports
+    #: Path of a SQLite results store (see :mod:`repro.service`).  When set,
+    #: ``python -m repro run`` checkpoints the study into the store instead
+    #: of a JSONL file (an explicit ``--db`` / ``--checkpoint`` flag wins).
+    results_db: str | None = None
 
     # ------------------------------------------------------------------ #
     # validation                                                          #

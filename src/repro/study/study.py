@@ -22,9 +22,8 @@ from repro.errors import OptimizationError
 from repro.study.callbacks import CallbackList, StudyCallback
 from repro.study.checkpoint import (
     CheckpointData,
-    CheckpointWriter,
+    coerce_checkpoint,
     prime_cache,
-    read_checkpoint,
 )
 from repro.study.spec import StudySpec
 from repro.utils.stats import summarize_runs
@@ -98,6 +97,17 @@ class Study:
     checkpoint_path:
         When set, every evaluation batch is appended to this JSONL file so
         the run can be resumed with :meth:`Study.resume`.
+    checkpoint:
+        Generalisation of ``checkpoint_path``: a path *or* any
+        :class:`~repro.study.checkpoint.StudyCheckpoint` backend (e.g. the
+        SQLite results store's
+        :class:`~repro.service.store.StoreCheckpoint`).  At most one of the
+        two may be given.
+    engine_backend:
+        Optional :class:`~repro.engine.backends.ExecutionBackend` instance
+        that replaces the spec-resolved backend on the problem's engine --
+        the seam the study service uses to dispatch evaluation batches as
+        work-queue jobs instead of in-process simulations.
     optimizer_factory:
         Escape hatch for programmatic studies: a ``(problem, rng) ->
         optimizer`` callable used instead of the registry.  Such studies are
@@ -107,6 +117,8 @@ class Study:
     def __init__(self, spec: StudySpec, seed: int | None = None,
                  callbacks: list[StudyCallback] | tuple = (),
                  checkpoint_path: str | None = None,
+                 checkpoint=None,
+                 engine_backend=None,
                  optimizer_factory=None,
                  source=None, source_data=None,
                  _checkpoint_data: CheckpointData | None = None):
@@ -114,10 +126,15 @@ class Study:
             raise OptimizationError(
                 f"Study runs one seed but spec.n_seeds={spec.n_seeds}; use "
                 "run_study() for multi-seed execution (or pass seed=...)")
+        if checkpoint is not None and checkpoint_path is not None:
+            raise OptimizationError(
+                "pass either checkpoint_path or checkpoint, not both")
         self.spec = spec if seed is None else spec.for_seed(seed)
         self.seed = int(self.spec.seed)
         self.callbacks = CallbackList(list(callbacks))
-        self.checkpoint_path = checkpoint_path
+        self.checkpoint = coerce_checkpoint(
+            checkpoint if checkpoint is not None else checkpoint_path)
+        self.engine_backend = engine_backend
         self.optimizer_factory = optimizer_factory
         # Prebuilt transfer source (run_study builds one and shares it
         # across seeds instead of re-simulating it per repetition).
@@ -134,6 +151,14 @@ class Study:
     @property
     def label(self) -> str:
         return f"{self.spec.optimizer}:{self.spec.circuit}:seed{self.seed}"
+
+    @property
+    def checkpoint_path(self) -> str | None:
+        """Path of a JSONL checkpoint backend (``None`` for others)."""
+        from repro.study.checkpoint import JSONLCheckpoint
+        if isinstance(self.checkpoint, JSONLCheckpoint):
+            return self.checkpoint.path
+        return None
 
     @property
     def history(self) -> OptimizationHistory:
@@ -159,19 +184,23 @@ class Study:
         return cls(StudySpec.from_file(path), **kwargs)
 
     @classmethod
-    def resume(cls, checkpoint_path, callbacks: tuple = (),
-               optimizer_factory=None) -> "Study":
+    def resume(cls, checkpoint, callbacks: tuple = (),
+               optimizer_factory=None, engine_backend=None) -> "Study":
         """Rebuild a study from its checkpoint; :meth:`run` continues it.
 
-        The replayed prefix consumes no simulations (checkpointed
-        evaluations are served from the design cache) and reproduces the
-        interrupted run bit-identically; see :mod:`repro.study.checkpoint`.
+        ``checkpoint`` is a JSONL path or any
+        :class:`~repro.study.checkpoint.StudyCheckpoint` backend.  The
+        replayed prefix consumes no simulations (checkpointed evaluations
+        are served from the design cache) and reproduces the interrupted
+        run bit-identically; see :mod:`repro.study.checkpoint`.
         """
-        data = read_checkpoint(checkpoint_path)
+        backend = coerce_checkpoint(checkpoint)
+        data = backend.read()
         spec = StudySpec.from_dict(data.spec_dict)
         return cls(spec, seed=data.seed, callbacks=callbacks,
-                   checkpoint_path=checkpoint_path,
+                   checkpoint=backend,
                    optimizer_factory=optimizer_factory,
+                   engine_backend=engine_backend,
                    _checkpoint_data=data)
 
     # ------------------------------------------------------------------ #
@@ -192,6 +221,12 @@ class Study:
                 "which cannot replay deterministically)")
 
         self.problem = problem = spec.build_problem()
+        if self.engine_backend is not None:
+            # Service seam: the spec-resolved backend is discarded before it
+            # ever creates a pool, and evaluation batches dispatch through
+            # the caller-provided backend (e.g. the work queue) instead.
+            problem.engine.backend.shutdown()
+            problem.engine.backend = self.engine_backend
         n_replayed = 0
         if resumed:
             n_replayed = prime_cache(problem, self._checkpoint_data.evaluations)
@@ -208,18 +243,17 @@ class Study:
                 problem, rng, source=source, source_data=source_data)
 
         writer = None
-        covered = 0  # evaluations already recorded in the checkpoint file
-        if self.checkpoint_path is not None:
+        covered = 0  # evaluations already recorded in the checkpoint
+        if self.checkpoint is not None:
             if resumed:
-                # Re-seed the file with the existing records atomically, so
-                # killing the resume never loses checkpointed progress; the
-                # replayed batches below are skipped instead of re-written.
-                writer = CheckpointWriter(
-                    self.checkpoint_path,
+                # Re-seed the backend with the existing records atomically,
+                # so killing the resume never loses checkpointed progress;
+                # the replayed batches below are skipped, not re-written.
+                writer = self.checkpoint.open_writer(
                     resume_records=self._checkpoint_data.raw_records)
                 covered = len(self._checkpoint_data.evaluations)
             else:
-                writer = CheckpointWriter(self.checkpoint_path)
+                writer = self.checkpoint.open_writer()
                 writer.write_header(spec.to_dict(), self.seed)
 
         iteration = 0

@@ -1,0 +1,44 @@
+"""A registry plugin shared by the service tests and their subprocesses.
+
+``tests/test_service.py`` imports this module to register the cheap
+``service_quadratic`` problem in the test process, and passes
+``--import service_plugin`` so ``python -m repro worker`` / ``resume``
+subprocesses register it too (with ``tests/`` on their ``PYTHONPATH``).
+
+``SVC_SIM_SLEEP`` (seconds, float) stalls every simulation -- how the
+lease-expiry test makes one worker slow enough to SIGKILL mid-job without
+slowing anything else down.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bo.design_space import DesignSpace, DesignVariable
+from repro.bo.problem import Constraint, OptimizationProblem
+from repro.circuits.registry import register_problem
+
+
+class ServiceQuadratic(OptimizationProblem):
+    """Cheap deterministic constrained minimisation (see test_study.py)."""
+
+    def __init__(self, technology: str = "180nm", dim: int = 3):
+        space = DesignSpace(
+            [DesignVariable(f"x{i}", 0.0, 1.0) for i in range(dim)])
+        super().__init__(name=f"service_quadratic_{technology}",
+                         design_space=space, objective="f", minimize=True,
+                         constraints=[Constraint("g", 0.1, sense="ge")])
+
+    def simulate(self, design):
+        delay = float(os.environ.get("SVC_SIM_SLEEP", "0"))
+        if delay:
+            time.sleep(delay)
+        x = np.array([design[f"x{i}"]
+                      for i in range(self.design_space.dim)])
+        return {"f": float(np.sum((x - 0.4) ** 2)), "g": float(x[0])}
+
+
+register_problem("service_quadratic", overwrite=True)(ServiceQuadratic)
