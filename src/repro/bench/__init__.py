@@ -29,6 +29,7 @@ from repro.bench.analyses import (
     ACSpec,
     AnalysisSpec,
     DCSweepSpec,
+    NoiseSpec,
     OPSpec,
     SweepResult,
     TempSweepSpec,
@@ -48,10 +49,16 @@ from repro.bench.measures import (
     MeasureContext,
     MeasurementError,
     bandwidth_3db_mhz,
+    cmrr_db,
     gain_at_db,
     gain_db,
+    gain_margin_db,
     gbw_mhz,
+    input_noise_nv_rthz,
+    integrated_noise_uvrms,
+    loop_gain_db,
     node_dc,
+    output_noise_nv_rthz,
     overshoot_pct,
     phase_margin_deg,
     psrr_db,
@@ -69,6 +76,7 @@ __all__ = [
     "OPSpec",
     "ACSpec",
     "TranSpec",
+    "NoiseSpec",
     "DCSweepSpec",
     "TempSweepSpec",
     "SweepResult",
@@ -96,6 +104,12 @@ __all__ = [
     "phase_margin_deg",
     "gain_at_db",
     "psrr_db",
+    "cmrr_db",
+    "loop_gain_db",
+    "gain_margin_db",
+    "input_noise_nv_rthz",
+    "output_noise_nv_rthz",
+    "integrated_noise_uvrms",
     "bandwidth_3db_mhz",
     "supply_current_ua",
     "node_dc",

@@ -95,6 +95,41 @@ class ACSpec(AnalysisSpec):
 
 
 @dataclass(frozen=True)
+class NoiseSpec(AnalysisSpec):
+    """Small-signal noise sweep (adjoint solve of the linearised AC system).
+
+    Attributes
+    ----------
+    frequencies:
+        Analysis frequencies in hertz, strictly positive (required).
+    output:
+        Output node whose noise voltage is observed (required).
+    op:
+        Name of the :class:`OPSpec` supplying the bias, with the same
+        cross-circuit reuse rules as :class:`ACSpec`.
+
+    The input-referred spectrum divides by the forward gain of the
+    circuit's own declared AC excitation, so a bench wanting input-referred
+    measures runs the noise analysis on a circuit variant whose input
+    source sets ``ac=1``.
+    """
+
+    frequencies: np.ndarray | None = None
+    output: str = ""
+    op: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.frequencies is None or len(self.frequencies) == 0:
+            raise ValueError(f"noise analysis {self.name!r} needs frequencies")
+        if np.any(np.asarray(self.frequencies) <= 0.0):
+            raise ValueError(
+                f"noise analysis {self.name!r} needs positive frequencies")
+        if not self.output:
+            raise ValueError(f"noise analysis {self.name!r} needs an output node")
+
+
+@dataclass(frozen=True)
 class TranSpec(AnalysisSpec):
     """Adaptive-timestep transient run from the transient operating point."""
 

@@ -41,6 +41,7 @@ import numpy as np
 from repro.bench.analyses import (
     ACSpec,
     DCSweepSpec,
+    NoiseSpec,
     OPSpec,
     SweepResult,
     TempSweepSpec,
@@ -51,6 +52,7 @@ from repro.bench.testbench import SimResult, Testbench
 from repro.errors import ConvergenceError, NetlistError
 from repro.spice.ac import ac_analysis, ac_analysis_batch
 from repro.spice.dc import dc_operating_point, dc_operating_point_batch
+from repro.spice.noise import noise_analysis
 from repro.spice.sweep import dc_sweep, temperature_sweep
 from repro.spice.transient import transient_analysis, transient_analysis_batch
 
@@ -125,6 +127,8 @@ class BatchSimulator:
                 self._run_op(states, position, spec.transient)
             elif isinstance(spec, ACSpec):
                 self._run_ac(states, position)
+            elif isinstance(spec, NoiseSpec):
+                self._run_noise(states, position)
             elif isinstance(spec, TranSpec):
                 self._run_tran(states, position)
             else:
@@ -168,6 +172,12 @@ class BatchSimulator:
                     raise ValueError(
                         f"batched jobs need identical AC frequency grids "
                         f"and observed nodes (analysis {ref.name!r})")
+                if isinstance(ref, NoiseSpec) and (
+                        not np.array_equal(spec.frequencies, ref.frequencies)
+                        or spec.output != ref.output):
+                    raise ValueError(
+                        f"batched jobs need identical noise frequency grids "
+                        f"and output nodes (analysis {ref.name!r})")
                 if isinstance(ref, TranSpec) and (
                         spec.t_stop != ref.t_stop
                         or spec.reltol != ref.reltol
@@ -336,6 +346,36 @@ class BatchSimulator:
         for (job, spec, _, _), analysis in zip(ready, analyses):
             if analysis is not None:
                 job.results[spec.name] = analysis
+
+    def _run_noise(self, states: list[_Job], position: int) -> None:
+        """Noise analyses: batched bias resolution, serial adjoint sweeps.
+
+        The bias solves still group into one batched Newton run; the adjoint
+        sweep itself runs the exact serial :func:`noise_analysis` per job
+        (its stacked solve already vectorizes over the frequency axis), so
+        batched results are trivially bit-identical to serial sessions.
+        """
+        pairs = self._alive_pairs(states, position)
+        ops = self._resolve_ops(pairs, transient=False)
+        for (job, spec), op in zip(pairs, ops):
+            if op is None:
+                continue
+            if not op.converged:
+                job.failure = (f"{spec.name}: bias for noise analysis "
+                               "did not converge")
+                continue
+            try:
+                circuit = self._circuit(job, spec.circuit)
+            except Exception as exc:
+                job.error = _job_error(exc)
+                continue
+            try:
+                job.results[spec.name] = noise_analysis(
+                    circuit, op, spec.frequencies, output=spec.output)
+            except (np.linalg.LinAlgError, KeyError, ValueError) as exc:
+                job.failure = f"{spec.name}: {exc}"
+            except Exception as exc:
+                job.error = _job_error(exc)
 
     def _run_tran(self, states: list[_Job], position: int) -> None:
         pairs = self._alive_pairs(states, position)

@@ -103,17 +103,96 @@ def gain_at_db(frequency: float, analysis: str = "ac", node: str = "out",
         ctx.result(analysis).gain_at(node, frequency)))
 
 
-def psrr_db(frequency: float = 100.0, analysis: str = "ac", node: str = "out",
+def psrr_db(frequency: float, analysis: str, node: str = "out",
             name: str = "psrr") -> Measure:
-    """Power-supply rejection: minus the supply-to-node gain at ``frequency``."""
+    """Power-supply rejection: minus the supply-to-node gain at ``frequency``.
+
+    ``analysis`` names the supply-injection AC sweep explicitly (the circuit
+    variant whose *supply* source carries ``ac=1``), so a bench can carry
+    differential gain and PSRR side by side instead of both assuming the
+    ``"ac"`` result key.
+    """
     return Measure(name, lambda ctx: float(
         -ctx.result(analysis).gain_at(node, frequency)))
+
+
+def cmrr_db(frequency: float, diff_analysis: str, cm_analysis: str,
+            node: str = "out", name: str = "cmrr") -> Measure:
+    """Common-mode rejection: differential minus common-mode gain (dB).
+
+    The two analyses are AC sweeps of circuit variants whose input sources
+    carry the differential and the common-mode excitation respectively;
+    both gains are interpolated at the same spot ``frequency``.
+    """
+    def fn(ctx: MeasureContext) -> float:
+        diff = ctx.result(diff_analysis).gain_at(node, frequency)
+        common = ctx.result(cm_analysis).gain_at(node, frequency)
+        return float(diff - common)
+    return Measure(name, fn)
 
 
 def bandwidth_3db_mhz(analysis: str = "ac", node: str = "out",
                       name: str = "bw") -> Measure:
     return Measure(name, lambda ctx: float(
         ctx.result(analysis).bandwidth_3db(node) / 1e6))
+
+
+# --------------------------------------------------------------------- #
+# loop-gain stability measures                                           #
+# --------------------------------------------------------------------- #
+def loop_gain_db(frequency: float, analysis: str, node: str = "out",
+                 name: str = "loop_gain") -> Measure:
+    """Loop-gain magnitude (dB) at one frequency of a loop-gain AC sweep."""
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).gain_at(node, frequency)))
+
+
+def gain_margin_db(analysis: str, node: str = "out",
+                   name: str = "gm_db") -> Measure:
+    """Gain margin of a loop-gain sweep: -|T| (dB) at the -180 deg crossing."""
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).gain_margin_db(node)))
+
+
+# --------------------------------------------------------------------- #
+# noise measures                                                         #
+# --------------------------------------------------------------------- #
+def input_noise_nv_rthz(frequency: float, analysis: str = "noise",
+                        name: str = "en_in") -> Measure:
+    """Input-referred noise density at one frequency, in nV/sqrt(Hz)."""
+    def fn(ctx: MeasureContext) -> float:
+        result = ctx.result(analysis)
+        try:
+            return float(result.input_density(frequency) * 1e9)
+        except ValueError as exc:
+            raise MeasurementError(str(exc)) from exc
+    return Measure(name, fn)
+
+
+def output_noise_nv_rthz(frequency: float, analysis: str = "noise",
+                         name: str = "en_out") -> Measure:
+    """Output noise density at one frequency, in nV/sqrt(Hz)."""
+    return Measure(name, lambda ctx: float(
+        ctx.result(analysis).output_density(frequency) * 1e9))
+
+
+def integrated_noise_uvrms(analysis: str = "noise",
+                           f_low: float | None = None,
+                           f_high: float | None = None,
+                           input_referred: bool = False,
+                           name: str = "vnoise") -> Measure:
+    """Total rms noise over a band, in uVrms (output-referred by default)."""
+    def fn(ctx: MeasureContext) -> float:
+        result = ctx.result(analysis)
+        try:
+            if input_referred:
+                total = result.integrated_input_noise(f_low, f_high)
+            else:
+                total = result.integrated_output_noise(f_low, f_high)
+        except ValueError as exc:
+            raise MeasurementError(str(exc)) from exc
+        return float(total * 1e6)
+    return Measure(name, fn)
 
 
 # --------------------------------------------------------------------- #

@@ -23,6 +23,7 @@ from repro.bench.analyses import (
     ACSpec,
     AnalysisSpec,
     DCSweepSpec,
+    NoiseSpec,
     OPSpec,
     SweepResult,
     TempSweepSpec,
@@ -32,6 +33,7 @@ from repro.bench.measures import MeasureContext, MeasurementError
 from repro.bench.testbench import SimResult, Testbench
 from repro.errors import ConvergenceError
 from repro.spice.ac import ac_analysis
+from repro.spice.noise import noise_analysis
 from repro.spice.dc import OperatingPoint, dc_operating_point
 from repro.spice.sweep import dc_sweep, temperature_sweep
 from repro.spice.transient import transient_analysis, transient_operating_point
@@ -130,6 +132,18 @@ class Simulator:
                 circuit = self._circuit(bench, design, circuits, spec.circuit)
                 results[spec.name] = ac_analysis(circuit, op, spec.frequencies,
                                                  observe=list(spec.observe))
+            elif isinstance(spec, NoiseSpec):
+                op = self._resolve_op(bench, design, circuits, ops, results,
+                                      op_specs, spec, transient=False)
+                if not op.converged:
+                    return self._failed(f"{spec.name}: bias for noise analysis "
+                                        "did not converge", results)
+                circuit = self._circuit(bench, design, circuits, spec.circuit)
+                try:
+                    results[spec.name] = noise_analysis(
+                        circuit, op, spec.frequencies, output=spec.output)
+                except (np.linalg.LinAlgError, KeyError, ValueError) as exc:
+                    return self._failed(f"{spec.name}: {exc}", results)
             elif isinstance(spec, TranSpec):
                 op = self._resolve_op(bench, design, circuits, ops, results,
                                       op_specs, spec, transient=True)

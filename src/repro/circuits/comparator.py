@@ -1,0 +1,204 @@
+"""Clocked dynamic comparator (StrongARM latch): decision time and offset.
+
+Topology -- the classic StrongARM sense amplifier:
+
+* clocked tail -- NMOS ``MTAIL`` enabling the input pair when the clock
+  rises;
+* input pair -- ``MIN1`` (gate ``inp``) discharging the internal node
+  ``xn`` and ``MIN2`` (gate ``inn``) discharging ``xp``;
+* regenerative latch -- cross-coupled NMOS (``MNL1``/``MNL2``, sources on
+  the internal nodes) and cross-coupled PMOS (``MPL1``/``MPL2``);
+* precharge -- clocked PMOS switches parking both outputs *and* both
+  internal nodes at VDD while the clock is low;
+* explicit load capacitors on both outputs.
+
+The bench solves the precharged state (clock low) as the transient
+operating point, then releases the clock with a fast
+:class:`~repro.spice.StepWaveform` edge: the side whose input is higher
+steers more tail current, its internal node discharges first, and the
+cross-coupled pairs regenerate the millivolt-level imbalance to full swing.
+With ``inp`` above ``inn`` the correct decision is ``outn`` low / ``outp``
+high.
+
+Metrics: ``t_decide`` (us, the objective) -- the time from the clock edge
+to the differential output crossing half the supply; ``v_diff`` (V) -- the
+final differential output, positive when the decision is correct; and
+``decision`` (1/0) -- correctness, carried as a ``>= 0.5`` constraint so
+the Monte Carlo yield wrapper's spec classification *is* the offset test:
+``comparator_yield`` reports the probability that sampled Pelgrom mismatch
+leaves the comparator resolving a ``input_overdrive`` (default 5 mV) input
+correctly, i.e. the fraction of silicon whose input-referred offset is
+below the overdrive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bench
+from repro.bo.design_space import DesignSpace, DesignVariable
+from repro.bo.problem import Constraint
+from repro.circuits.base import CircuitSizingProblem
+from repro.pdk import Technology
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Mosfet,
+    Resistor,
+    StepWaveform,
+    VoltageSource,
+)
+
+
+def _comparator_design_space(technology: Technology) -> DesignSpace:
+    min_w, max_w = technology.min_width, technology.max_width
+    min_l, max_l = technology.min_length, technology.max_length
+    w_cap = min(max_w, min_w * 200)
+    return DesignSpace([
+        DesignVariable("w_in", min_w * 4, w_cap, log_scale=True, unit="m"),
+        DesignVariable("l_in", min_l, max_l, log_scale=True, unit="m"),
+        DesignVariable("w_latch_n", min_w * 2, w_cap, log_scale=True, unit="m"),
+        DesignVariable("w_latch_p", min_w * 2, w_cap, log_scale=True, unit="m"),
+        DesignVariable("w_tail", min_w * 4, w_cap, log_scale=True, unit="m"),
+    ])
+
+
+class DynamicComparator(CircuitSizingProblem):
+    """Size the StrongARM latch for fast, correct decisions.
+
+    The objective is the regeneration (decision) time at a small
+    ``input_overdrive``; the ``decision`` constraint declares the design
+    dead unless the latch resolves to the correct side, and (through the
+    yield wrapper) turns Monte Carlo mismatch classification into an
+    input-referred offset test.
+    """
+
+    def __init__(self, technology: str | Technology = "180nm",
+                 input_overdrive: float = 5e-3,
+                 load_capacitance: float = 50e-15,
+                 t_stop: float = 10e-9, max_t_decide_ns: float = 5.0):
+        tech = technology
+        if isinstance(tech, str):
+            from repro.pdk import get_technology
+            tech = get_technology(tech)
+        constraints = [
+            Constraint("decision", 0.5, "ge"),
+            Constraint("t_decide", float(max_t_decide_ns), "le"),
+        ]
+        super().__init__(name="comparator", technology=tech,
+                         design_space=_comparator_design_space(tech),
+                         objective="t_decide", minimize=True,
+                         constraints=constraints)
+        self.input_overdrive = float(input_overdrive)
+        self.load_capacitance = float(load_capacitance)
+        self.t_stop = float(t_stop)
+        # Clock edge: late enough that the precharged state is the clean
+        # baseline, fast enough to look like a real clock driver.
+        self.clk_delay = self.t_stop * 0.1
+        self.clk_rise_time = self.t_stop * 0.01
+
+    # ------------------------------------------------------------------ #
+    # netlist                                                             #
+    # ------------------------------------------------------------------ #
+    def build_circuit(self, design: dict[str, float]) -> Circuit:
+        tech = self.technology
+        vdd = tech.vdd
+        vcm = tech.common_mode
+        half = 0.5 * self.input_overdrive
+        w_in = tech.clamp_width(design["w_in"])
+        l_in = tech.clamp_length(design["l_in"])
+        l_min = tech.min_length
+        w_ln = tech.clamp_width(design["w_latch_n"])
+        w_lp = tech.clamp_width(design["w_latch_p"])
+        w_tail = tech.clamp_width(design["w_tail"])
+        circuit = Circuit(f"comparator_{tech.name}")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=vdd))
+        circuit.add(VoltageSource("VIP", "inp", "0", dc=vcm + half))
+        circuit.add(VoltageSource("VIN", "inn", "0", dc=vcm - half))
+        circuit.add(VoltageSource(
+            "VCLK", "clk", "0", dc=0.0,
+            waveform=StepWaveform(initial=0.0, final=vdd,
+                                  delay=self.clk_delay,
+                                  rise_time=self.clk_rise_time)))
+        # Clocked tail and input pair.  With the clock low every device on
+        # the tail node is off and the node would float; a weak bleed to
+        # ground (standing in for junction leakage) keeps the precharge
+        # operating point well-posed without loading the decision.
+        circuit.add(Mosfet("MTAIL", "tail", "clk", "0", "0",
+                           tech.nmos, w_tail, l_min))
+        circuit.add(Resistor("RBLEED", "tail", "0", 10e6))
+        circuit.add(Mosfet("MIN1", "xn", "inp", "tail", "0",
+                           tech.nmos, w_in, l_in))
+        circuit.add(Mosfet("MIN2", "xp", "inn", "tail", "0",
+                           tech.nmos, w_in, l_in))
+        # Regenerative cross-coupled pairs.
+        circuit.add(Mosfet("MNL1", "outn", "outp", "xn", "0",
+                           tech.nmos, w_ln, l_min))
+        circuit.add(Mosfet("MNL2", "outp", "outn", "xp", "0",
+                           tech.nmos, w_ln, l_min))
+        circuit.add(Mosfet("MPL1", "outn", "outp", "vdd", "vdd",
+                           tech.pmos, w_lp, l_min))
+        circuit.add(Mosfet("MPL2", "outp", "outn", "vdd", "vdd",
+                           tech.pmos, w_lp, l_min))
+        # Precharge switches: outputs and internal nodes park at VDD.
+        w_pre = tech.clamp_width(2.0 * tech.min_width)
+        for name, node in (("MPC1", "outn"), ("MPC2", "outp"),
+                           ("MPC3", "xn"), ("MPC4", "xp")):
+            circuit.add(Mosfet(name, node, "clk", "vdd", "vdd",
+                               tech.pmos, w_pre, l_min))
+        circuit.add(Capacitor("CLP", "outp", "0", self.load_capacitance))
+        circuit.add(Capacitor("CLN", "outn", "0", self.load_capacitance))
+        return circuit
+
+    # ------------------------------------------------------------------ #
+    # measures                                                            #
+    # ------------------------------------------------------------------ #
+    def _differential(self, result) -> tuple[np.ndarray, np.ndarray]:
+        times = result.times
+        diff = result.voltage("outp") - result.voltage("outn")
+        return times, diff
+
+    def _measure_t_decide(self, ctx: "bench.MeasureContext") -> float:
+        """Clock edge to |v(outp) - v(outn)| > VDD/2, in ns (window if never)."""
+        times, diff = self._differential(ctx.result("tran"))
+        t_edge = self.clk_delay
+        threshold = 0.5 * self.technology.vdd
+        after = times >= t_edge
+        crossed = np.nonzero(after & (np.abs(diff) >= threshold))[0]
+        if crossed.size == 0:
+            return float((self.t_stop - t_edge) * 1e9)
+        return float((times[crossed[0]] - t_edge) * 1e9)
+
+    def _measure_v_diff(self, ctx: "bench.MeasureContext") -> float:
+        _, diff = self._differential(ctx.result("tran"))
+        return float(diff[-1])
+
+    def _measure_decision(self, ctx: "bench.MeasureContext") -> float:
+        """1.0 when the latch resolved to the correct side, else 0.0.
+
+        Correct for ``inp > inn``: ``outp`` high, ``outn`` low -- and the
+        swing must be a real decision (past half supply), not a metastable
+        residue.
+        """
+        _, diff = self._differential(ctx.result("tran"))
+        threshold = 0.5 * self.technology.vdd
+        return 1.0 if diff[-1] >= threshold else 0.0
+
+    def testbench(self) -> bench.Testbench:
+        return bench.Testbench(
+            name=self.name,
+            builders={"main": self.build_circuit},
+            analyses=[
+                bench.OPSpec("op", transient=True),
+                bench.TranSpec("tran", t_stop=self.t_stop,
+                               observe=("outp", "outn"), op="op"),
+            ],
+            measures=[
+                bench.Measure("t_decide", self._measure_t_decide),
+                bench.Measure("v_diff", self._measure_v_diff),
+                bench.Measure("decision", self._measure_decision),
+            ],
+            temperature=self.sim_temperature)
+
+    def failed_metrics(self) -> dict[str, float]:
+        return {**super().failed_metrics(), "v_diff": 0.0}

@@ -31,6 +31,7 @@ from repro.bench.corners import (
 )
 from repro.circuits.bandgap import BandgapReference
 from repro.circuits.base import CircuitSizingProblem
+from repro.circuits.ldo import LowDropoutRegulator
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.two_stage_opamp import TwoStageOpAmp
 
@@ -177,5 +178,15 @@ class BandgapReferenceCorners(CornerSizingProblem):
     def __init__(self, technology="180nm", corners=None, backend=None,
                  max_workers=None, **kwargs):
         super().__init__("bandgap", BandgapReference,
+                         technology=technology, corners=corners,
+                         backend=backend, max_workers=max_workers, **kwargs)
+
+
+class LowDropoutRegulatorCorners(CornerSizingProblem):
+    """LDO sized for its worst PVT corner."""
+
+    def __init__(self, technology="180nm", corners=None, backend=None,
+                 max_workers=None, **kwargs):
+        super().__init__("ldo", LowDropoutRegulator,
                          technology=technology, corners=corners,
                          backend=backend, max_workers=max_workers, **kwargs)

@@ -1,0 +1,232 @@
+"""Low-dropout regulator (LDO) testbench: PSRR, noise and load transient.
+
+Topology -- the canonical PMOS-pass LDO:
+
+* pass device -- one large PMOS (``MPASS``) from the supply to the
+  regulated output;
+* error amplifier -- a single-pole transconductance stage: a VCCS
+  (``GEA``) comparing the reference against the feedback tap, working into
+  its output resistance ``REA`` (to the supply, so the gate parks near VDD
+  and the pass device defaults off) and compensation capacitance ``CEA``;
+  its bias draw is modelled by an explicit current sink (square-law
+  ``I = gm * V_ov / 2`` at ``V_ov = 0.2 V``), so quiescent current really
+  trades off against loop bandwidth;
+* feedback -- an equal resistive divider, so the output regulates to
+  ``2 * vref`` with ``vref = 0.4 * VDD`` (20% dropout headroom);
+* load -- a DC current sink plus output capacitor.
+
+Feedback polarity: the VCCS pulls ``i = gm * (vref - vfb)`` out of the gate
+node, so an output droop (``vfb < vref``) drops the gate through ``REA`` and
+turns the pass device on harder -- negative feedback.
+
+Three netlist variants share the core: ``main`` (reference carries the AC
+excitation -- closed-loop gain, bias, noise), ``psrr`` (the *supply* carries
+it -- supply injection), and ``tran`` (the load current steps between the
+light and heavy levels -- droop/recovery).  Metrics: quiescent current
+``i_q`` (uA, the objective), regulation error ``v_err`` (mV), ``psrr`` (dB
+at the PSRR spot frequency), integrated output noise ``vnoise`` (uVrms) and
+load-step droop ``droop`` (mV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bench
+from repro.bo.design_space import DesignSpace, DesignVariable
+from repro.bo.problem import Constraint
+from repro.circuits.base import CircuitSizingProblem
+from repro.pdk import Technology
+from repro.spice import (
+    VCCS,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Mosfet,
+    PulseWaveform,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.ac import logspace_frequencies
+
+#: Assumed error-amplifier overdrive for the bias-draw model (V).
+_EA_OVERDRIVE = 0.2
+
+
+def _ldo_design_space(technology: Technology) -> DesignSpace:
+    min_w, max_w = technology.min_width, technology.max_width
+    min_l, max_l = technology.min_length, technology.max_length
+    return DesignSpace([
+        DesignVariable("w_pass", min_w * 20, max_w, log_scale=True, unit="m"),
+        DesignVariable("l_pass", min_l, max_l, log_scale=True, unit="m"),
+        DesignVariable("gm_ea", 1e-5, 1e-2, log_scale=True, unit="S"),
+        DesignVariable("r_ea", 1e4, 1e6, log_scale=True, unit="ohm"),
+        DesignVariable("c_ea", 0.1e-12, 10e-12, log_scale=True, unit="F"),
+        DesignVariable("r_fb", 1e4, 1e6, log_scale=True, unit="ohm"),
+    ])
+
+
+class LowDropoutRegulator(CircuitSizingProblem):
+    """Constrained LDO sizing: minimise quiescent current subject to
+    regulation accuracy, PSRR, output noise and load-step droop specs."""
+
+    def __init__(self, technology: str | Technology = "180nm",
+                 load_current: float = 1e-3, load_capacitance: float = 100e-12,
+                 psrr_frequency: float = 1e3,
+                 min_psrr_db: float = 30.0, max_v_err_mv: float = 50.0,
+                 max_noise_uvrms: float = 500.0, max_droop_mv: float = 100.0,
+                 t_stop: float = 20e-6):
+        tech = technology
+        if isinstance(tech, str):
+            from repro.pdk import get_technology
+            tech = get_technology(tech)
+        constraints = [
+            Constraint("v_err", float(max_v_err_mv), "le"),
+            Constraint("psrr", float(min_psrr_db), "ge"),
+            Constraint("vnoise", float(max_noise_uvrms), "le"),
+            Constraint("droop", float(max_droop_mv), "le"),
+        ]
+        super().__init__(name="ldo", technology=tech,
+                         design_space=_ldo_design_space(tech),
+                         objective="i_q", minimize=True,
+                         constraints=constraints)
+        self.load_current = float(load_current)
+        self.load_capacitance = float(load_capacitance)
+        self.psrr_frequency = float(psrr_frequency)
+        self.t_stop = float(t_stop)
+        # Load step: light load to the rated load, edge early enough that
+        # both the droop and the recovery fit in the window.
+        self.step_delay = self.t_stop * 0.25
+        self.step_rise_time = self.t_stop * 1e-3
+
+    # ------------------------------------------------------------------ #
+    # targets derived from the technology card                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def v_ref(self) -> float:
+        """Reference voltage: 0.4 * VDD (divider doubles it at the output)."""
+        return 0.4 * self.technology.vdd
+
+    @property
+    def v_target(self) -> float:
+        """Nominal regulated output: 0.8 * VDD (20% dropout headroom)."""
+        return 2.0 * self.v_ref
+
+    # ------------------------------------------------------------------ #
+    # netlist                                                             #
+    # ------------------------------------------------------------------ #
+    def _add_regulator_core(self, circuit: Circuit,
+                            design: dict[str, float]) -> None:
+        """Everything but the supply/reference sources and the load current."""
+        tech = self.technology
+        w_pass = tech.clamp_width(design["w_pass"])
+        l_pass = tech.clamp_length(design["l_pass"])
+        r_ea = max(design["r_ea"], 1.0)
+        r_fb = max(design["r_fb"], 1.0)
+        gm_ea = max(design["gm_ea"], 1e-12)
+        # Error amplifier: VCCS pulls gm*(vref - vfb) out of the gate node;
+        # REA to the supply parks the gate at VDD (pass device off) when the
+        # amplifier is quiet, CEA sets the dominant pole at the gate.
+        circuit.add(VCCS("GEA", "gate", "0", "ref", "fb", gm_ea))
+        circuit.add(Resistor("REA", "vdd", "gate", r_ea))
+        circuit.add(Capacitor("CEA", "gate", "0", max(design["c_ea"], 1e-15)))
+        # Modelled amplifier bias draw (square law: I = gm * Vov / 2).
+        circuit.add(CurrentSource("IEA", "vdd", "0",
+                                  dc=gm_ea * _EA_OVERDRIVE / 2.0))
+        # Pass device and output network.
+        circuit.add(Mosfet("MPASS", "out", "gate", "vdd", "vdd",
+                           tech.pmos, w_pass, l_pass))
+        circuit.add(Resistor("RFB1", "out", "fb", r_fb))
+        circuit.add(Resistor("RFB2", "fb", "0", r_fb))
+        circuit.add(Capacitor("COUT", "out", "0", self.load_capacitance))
+
+    def build_circuit(self, design: dict[str, float],
+                      supply_ac: float = 0.0,
+                      reference_ac: float = 1.0) -> Circuit:
+        """The ``main`` bench netlist: DC load, AC excitation on the reference."""
+        tech = self.technology
+        circuit = Circuit(f"ldo_{tech.name}")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd, ac=supply_ac))
+        circuit.add(VoltageSource("VREF", "ref", "0", dc=self.v_ref,
+                                  ac=reference_ac))
+        self._add_regulator_core(circuit, design)
+        circuit.add(CurrentSource("ILOAD", "out", "0", dc=self.load_current))
+        return circuit
+
+    def build_psrr_circuit(self, design: dict[str, float]) -> Circuit:
+        """Supply-injection variant: AC on VDD, quiet reference."""
+        return self.build_circuit(design, supply_ac=1.0, reference_ac=0.0)
+
+    def build_tran_circuit(self, design: dict[str, float]) -> Circuit:
+        """Load-transient variant: the load current steps to the rated load."""
+        tech = self.technology
+        circuit = Circuit(f"ldo_tran_{tech.name}")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+        circuit.add(VoltageSource("VREF", "ref", "0", dc=self.v_ref))
+        self._add_regulator_core(circuit, design)
+        light = 0.1 * self.load_current
+        circuit.add(CurrentSource(
+            "ILOAD", "out", "0", dc=light,
+            waveform=PulseWaveform(initial=light, pulsed=self.load_current,
+                                   delay=self.step_delay,
+                                   rise=self.step_rise_time,
+                                   fall=self.step_rise_time,
+                                   width=self.t_stop)))
+        return circuit
+
+    # ------------------------------------------------------------------ #
+    # measures                                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def noise_frequencies(self) -> np.ndarray:
+        """Noise grid: 1 Hz to 100 MHz, 10 points per decade."""
+        return logspace_frequencies(1e0, 1e8, points_per_decade=10)
+
+    def _measure_i_q(self, ctx: "bench.MeasureContext") -> float:
+        """Quiescent current: total supply draw minus the delivered load (uA)."""
+        op = ctx.result("op")
+        total = abs(ctx.circuit("main").device("VDD").branch_current(op.voltages))
+        return float(max(total - self.load_current, 0.0) * 1e6)
+
+    def _measure_v_err(self, ctx: "bench.MeasureContext") -> float:
+        """Regulation error: |V(out) - target| in mV."""
+        return float(abs(ctx.result("op").voltage("out") - self.v_target) * 1e3)
+
+    def _measure_droop(self, ctx: "bench.MeasureContext") -> float:
+        """Worst output excursion below the pre-step level after the load
+        step, in mV (a regulator that rides through reports ~0)."""
+        result = ctx.result("tran")
+        baseline = result.value_at("out", self.step_delay)
+        times = result.times
+        values = result.voltage("out")
+        after = values[times >= self.step_delay]
+        return float(max(baseline - float(after.min()), 0.0) * 1e3)
+
+    def testbench(self) -> bench.Testbench:
+        return bench.Testbench(
+            name=self.name,
+            builders={"main": self.build_circuit,
+                      "psrr": self.build_psrr_circuit,
+                      "tran": self.build_tran_circuit},
+            analyses=[
+                bench.OPSpec("op"),
+                bench.OPSpec("op_psrr", circuit="psrr"),
+                bench.OPSpec("op_tran", circuit="tran", transient=True),
+                bench.ACSpec("psrr_ac", circuit="psrr",
+                             frequencies=self.ac_frequencies,
+                             observe=("out",), op="op_psrr"),
+                bench.NoiseSpec("noise", frequencies=self.noise_frequencies,
+                                output="out", op="op"),
+                bench.TranSpec("tran", circuit="tran", t_stop=self.t_stop,
+                               observe=("out",), op="op_tran"),
+            ],
+            measures=[
+                bench.Measure("i_q", self._measure_i_q),
+                bench.Measure("v_err", self._measure_v_err,
+                              require_finite=True),
+                bench.psrr_db(self.psrr_frequency, analysis="psrr_ac",
+                              node="out", name="psrr"),
+                bench.integrated_noise_uvrms("noise", name="vnoise"),
+                bench.Measure("droop", self._measure_droop),
+            ],
+            temperature=self.sim_temperature)

@@ -34,6 +34,8 @@ from repro.bench.aggregate import sigma_metrics
 from repro.bo.problem import Constraint
 from repro.circuits.bandgap import BandgapReference
 from repro.circuits.base import CircuitSizingProblem
+from repro.circuits.comparator import DynamicComparator
+from repro.circuits.ldo import LowDropoutRegulator
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.two_stage_opamp import TwoStageOpAmp
 from repro.mc import MonteCarloConfig, MonteCarloRunner
@@ -215,6 +217,30 @@ class BandgapReferenceYield(YieldSizingProblem):
     def __init__(self, technology="180nm", yield_target=0.9, mc=None,
                  backend=None, max_workers=None, **kwargs):
         super().__init__("bandgap", BandgapReference,
+                         technology=technology, yield_target=yield_target,
+                         mc=mc, backend=backend, max_workers=max_workers,
+                         **kwargs)
+
+
+class LowDropoutRegulatorYield(YieldSizingProblem):
+    """LDO sized for spec yield under device mismatch."""
+
+    def __init__(self, technology="180nm", yield_target=0.9, mc=None,
+                 backend=None, max_workers=None, **kwargs):
+        super().__init__("ldo", LowDropoutRegulator,
+                         technology=technology, yield_target=yield_target,
+                         mc=mc, backend=backend, max_workers=max_workers,
+                         **kwargs)
+
+
+class DynamicComparatorYield(YieldSizingProblem):
+    """Comparator offset sign-off: the spec-classification yield *is* the
+    probability that sampled mismatch keeps the input-referred offset below
+    the bench's input overdrive (the ``decision`` constraint)."""
+
+    def __init__(self, technology="180nm", yield_target=0.9, mc=None,
+                 backend=None, max_workers=None, **kwargs):
+        super().__init__("comparator", DynamicComparator,
                          technology=technology, yield_target=yield_target,
                          mc=mc, backend=backend, max_workers=max_workers,
                          **kwargs)

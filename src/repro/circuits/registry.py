@@ -10,15 +10,26 @@ from __future__ import annotations
 
 from repro.circuits.bandgap import BandgapReference
 from repro.circuits.base import CircuitSizingProblem
+from repro.circuits.comparator import DynamicComparator
 from repro.circuits.corners import (
     BandgapReferenceCorners,
+    LowDropoutRegulatorCorners,
     ThreeStageOpAmpCorners,
     TwoStageOpAmpCorners,
 )
+from repro.circuits.ldo import LowDropoutRegulator
 from repro.circuits.montecarlo import (
     BandgapReferenceYield,
+    DynamicComparatorYield,
+    LowDropoutRegulatorYield,
     ThreeStageOpAmpYield,
     TwoStageOpAmpYield,
+)
+from repro.circuits.ring_vco import RingOscillatorVCO
+from repro.circuits.robust import (
+    BandgapReferenceRobust,
+    LowDropoutRegulatorRobust,
+    TwoStageOpAmpRobust,
 )
 from repro.circuits.three_stage_opamp import ThreeStageOpAmp
 from repro.circuits.two_stage_opamp import TwoStageOpAmp, TwoStageOpAmpSettling
@@ -75,12 +86,22 @@ register_problem("two_stage_opamp")(TwoStageOpAmp)
 register_problem("two_stage_opamp_settling")(TwoStageOpAmpSettling)
 register_problem("three_stage_opamp")(ThreeStageOpAmp)
 register_problem("bandgap")(BandgapReference)
+register_problem("ldo")(LowDropoutRegulator)
+register_problem("comparator")(DynamicComparator)
+register_problem("ring_vco")(RingOscillatorVCO)
 # Robust-sizing variants: the same circuits judged by their worst PVT corner.
 register_problem("two_stage_opamp_corners")(TwoStageOpAmpCorners)
 register_problem("three_stage_opamp_corners")(ThreeStageOpAmpCorners)
 register_problem("bandgap_corners")(BandgapReferenceCorners)
+register_problem("ldo_corners")(LowDropoutRegulatorCorners)
 # Statistical variants: the same circuits judged by their Monte Carlo
 # mismatch yield (objective s.t. specs hold with probability >= target).
 register_problem("two_stage_opamp_yield")(TwoStageOpAmpYield)
 register_problem("three_stage_opamp_yield")(ThreeStageOpAmpYield)
 register_problem("bandgap_yield")(BandgapReferenceYield)
+register_problem("ldo_yield")(LowDropoutRegulatorYield)
+register_problem("comparator_yield")(DynamicComparatorYield)
+# Joint robustness: worst-case-corner Monte Carlo mismatch yield.
+register_problem("two_stage_opamp_robust")(TwoStageOpAmpRobust)
+register_problem("bandgap_robust")(BandgapReferenceRobust)
+register_problem("ldo_robust")(LowDropoutRegulatorRobust)

@@ -1,0 +1,174 @@
+"""Three-stage ring oscillator (VCO core): frequency, power, phase noise.
+
+Topology: three identical CMOS inverters in a ring (``n1 -> n2 -> n3 ->
+n1``) with an explicit stage capacitor on every node -- the capacitor is
+the frequency-setting element (a varactor in a real VCO), so the sized
+inverter drive against it sets the per-stage delay and the oscillation
+frequency ``f = 1 / (2 * 3 * t_stage)``.
+
+Simulation recipe: the DC operating point of an odd ring is its *metastable*
+symmetric state (every node at the inverter switching threshold, every
+device conducting).  The transient starts there and a brief current kick
+into ``n1`` breaks the symmetry; the ring spins up and the steady-state
+frequency is measured from the rising-edge crossings of mid-supply in the
+second half of the window.  The same metastable bias is also exactly where
+small-signal analyses are meaningful for the ring:
+
+* ``power`` -- supply draw at the metastable point (uW): every stage
+  conducts its short-circuit current there, the class-A worst case that
+  bounds the oscillator's standing current;
+* ``pn_proxy`` -- integrated output noise (uVrms) of the linearised ring at
+  ``n1`` via the adjoint noise analysis.  Voltage noise at the switching
+  threshold divided by the slew rate is the classic first-order jitter
+  estimate, so this integrated noise is the device-physics proxy for phase
+  noise: flicker-heavy rings score worse, larger (lower ``1/f``, higher
+  ``gm``) devices score better.
+
+Metrics: ``freq`` (MHz, constrained from below), ``power`` (uW, the
+objective), ``pn_proxy`` (uVrms) and ``v_mid`` (V, the metastable level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bench
+from repro.bo.design_space import DesignSpace, DesignVariable
+from repro.bo.problem import Constraint
+from repro.circuits.base import CircuitSizingProblem
+from repro.pdk import Technology
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Mosfet,
+    PulseWaveform,
+    VoltageSource,
+)
+from repro.spice.ac import logspace_frequencies
+
+_N_STAGES = 3
+
+
+def _ring_design_space(technology: Technology) -> DesignSpace:
+    min_w, max_w = technology.min_width, technology.max_width
+    min_l, max_l = technology.min_length, technology.max_length
+    w_cap = min(max_w, min_w * 100)
+    return DesignSpace([
+        DesignVariable("w_n", min_w * 2, w_cap, log_scale=True, unit="m"),
+        DesignVariable("w_p", min_w * 4, w_cap, log_scale=True, unit="m"),
+        DesignVariable("l_gate", min_l, max_l, log_scale=True, unit="m"),
+        DesignVariable("c_stage", 0.2e-12, 5e-12, log_scale=True, unit="F"),
+    ])
+
+
+class RingOscillatorVCO(CircuitSizingProblem):
+    """Size the ring for minimum standing power at a target frequency."""
+
+    def __init__(self, technology: str | Technology = "180nm",
+                 min_freq_mhz: float = 50.0, t_stop: float = 250e-9,
+                 kick_current: float = 100e-6):
+        tech = technology
+        if isinstance(tech, str):
+            from repro.pdk import get_technology
+            tech = get_technology(tech)
+        constraints = [Constraint("freq", float(min_freq_mhz), "ge")]
+        super().__init__(name="ring_vco", technology=tech,
+                         design_space=_ring_design_space(tech),
+                         objective="power", minimize=True,
+                         constraints=constraints)
+        self.t_stop = float(t_stop)
+        self.kick_current = float(kick_current)
+        self.kick_delay = self.t_stop * 0.005
+        self.kick_width = self.t_stop * 0.005
+
+    # ------------------------------------------------------------------ #
+    # netlist                                                             #
+    # ------------------------------------------------------------------ #
+    def build_circuit(self, design: dict[str, float]) -> Circuit:
+        tech = self.technology
+        w_n = tech.clamp_width(design["w_n"])
+        w_p = tech.clamp_width(design["w_p"])
+        l_gate = tech.clamp_length(design["l_gate"])
+        c_stage = max(design["c_stage"], 1e-15)
+        circuit = Circuit(f"ring_vco_{tech.name}")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+        nodes = [f"n{i + 1}" for i in range(_N_STAGES)]
+        for index, out in enumerate(nodes):
+            inp = nodes[index - 1]  # stage input is the previous output
+            circuit.add(Mosfet(f"MN{index + 1}", out, inp, "0", "0",
+                               tech.nmos, w_n, l_gate))
+            circuit.add(Mosfet(f"MP{index + 1}", out, inp, "vdd", "vdd",
+                               tech.pmos, w_p, l_gate))
+            circuit.add(Capacitor(f"C{index + 1}", out, "0", c_stage))
+        # Start-up kick: a brief current pulse pulls n1 off the metastable
+        # point; dc=0 keeps the operating point the symmetric ring bias.
+        circuit.add(CurrentSource(
+            "IKICK", "n1", "0", dc=0.0,
+            waveform=PulseWaveform(initial=0.0, pulsed=self.kick_current,
+                                   delay=self.kick_delay,
+                                   width=self.kick_width)))
+        return circuit
+
+    # ------------------------------------------------------------------ #
+    # measures                                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def noise_frequencies(self) -> np.ndarray:
+        """Noise grid: 100 Hz to 10 GHz, 10 points per decade."""
+        return logspace_frequencies(1e2, 1e10, points_per_decade=10)
+
+    def _measure_freq(self, ctx: "bench.MeasureContext") -> float:
+        """Oscillation frequency (MHz) from mid-supply rising crossings in
+        the second half of the window (0 when the ring never spins up)."""
+        result = ctx.result("tran")
+        times = result.times
+        values = result.voltage("n1")
+        mask = times >= 0.5 * self.t_stop
+        t, v = times[mask], values[mask]
+        threshold = 0.5 * self.technology.vdd
+        above = v >= threshold
+        rising = np.nonzero(~above[:-1] & above[1:])[0]
+        if rising.size < 2:
+            return 0.0
+        # Linear interpolation of each crossing instant, then mean period.
+        t0, t1 = t[rising], t[rising + 1]
+        v0, v1 = v[rising], v[rising + 1]
+        crossings = t0 + (threshold - v0) / (v1 - v0) * (t1 - t0)
+        period = float(np.mean(np.diff(crossings)))
+        if period <= 0.0:
+            return 0.0
+        return float(1e-6 / period)
+
+    def _measure_power(self, ctx: "bench.MeasureContext") -> float:
+        """Standing (short-circuit) power at the metastable bias, in uW."""
+        op = ctx.result("op")
+        current = abs(ctx.circuit("main").device("VDD")
+                      .branch_current(op.voltages))
+        return float(current * self.technology.vdd * 1e6)
+
+    def _measure_v_mid(self, ctx: "bench.MeasureContext") -> float:
+        return float(ctx.result("op").voltage("n1"))
+
+    def testbench(self) -> bench.Testbench:
+        return bench.Testbench(
+            name=self.name,
+            builders={"main": self.build_circuit},
+            analyses=[
+                bench.OPSpec("op"),
+                bench.NoiseSpec("noise", frequencies=self.noise_frequencies,
+                                output="n1", op="op"),
+                bench.OPSpec("op_tran", transient=True),
+                bench.TranSpec("tran", t_stop=self.t_stop,
+                               observe=("n1",), op="op_tran"),
+            ],
+            measures=[
+                bench.Measure("freq", self._measure_freq),
+                bench.Measure("power", self._measure_power),
+                bench.integrated_noise_uvrms("noise", name="pn_proxy"),
+                bench.Measure("v_mid", self._measure_v_mid),
+            ],
+            temperature=self.sim_temperature)
+
+    def failed_metrics(self) -> dict[str, float]:
+        return {**super().failed_metrics(), "pn_proxy": 1e6, "v_mid": 0.0}

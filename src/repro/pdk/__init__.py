@@ -10,6 +10,7 @@ allowed geometries.
 
 from repro.pdk.technology import Technology
 from repro.pdk.nodes import TECHNOLOGIES, get_technology, make_180nm, make_40nm
+from repro.spice.devices.mosfet import NoiseCard
 from repro.pdk.variation import (
     DeviceVariation,
     MismatchCard,
@@ -25,6 +26,7 @@ __all__ = [
     "get_technology",
     "TECHNOLOGIES",
     "MismatchCard",
+    "NoiseCard",
     "DeviceVariation",
     "VariationSample",
     "apply_variation",

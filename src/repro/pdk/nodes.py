@@ -10,11 +10,14 @@ from __future__ import annotations
 
 from repro.pdk.technology import Technology
 from repro.pdk.variation import MismatchCard
-from repro.spice.devices.mosfet import MosfetModel
+from repro.spice.devices.mosfet import MosfetModel, NoiseCard
 
 
 def make_180nm() -> Technology:
     """Generic 180 nm CMOS: 1.8 V supply, high intrinsic gain, slower devices."""
+    # Long-channel thermal factor (gamma ~ 2/3) with flicker coefficients
+    # placing the 1/f corner near 100 kHz for a typical 10u/1u device at
+    # 50 uA; PMOS flicker is the customary ~4x lower (buried channel).
     nmos = MosfetModel(
         polarity="nmos",
         vth0=0.45,
@@ -23,6 +26,7 @@ def make_180nm() -> Technology:
         cox=8.5e-3,
         cgdo=3.0e-10,
         vth_tc=-1.0e-3,
+        noise=NoiseCard(gamma=2.0 / 3.0, kf=1.0e-30, af=1.0),
     )
     pmos = MosfetModel(
         polarity="pmos",
@@ -32,6 +36,7 @@ def make_180nm() -> Technology:
         cox=8.5e-3,
         cgdo=3.0e-10,
         vth_tc=-1.2e-3,
+        noise=NoiseCard(gamma=2.0 / 3.0, kf=2.5e-31, af=1.0),
     )
     return Technology(
         name="180nm",
@@ -51,6 +56,8 @@ def make_180nm() -> Technology:
 
 def make_40nm() -> Technology:
     """Generic 40 nm CMOS: 1.1 V supply, faster but much lower intrinsic gain."""
+    # Short-channel devices run hotter thermally (gamma > 1) and, at these
+    # areas, with markedly higher flicker density per device.
     nmos = MosfetModel(
         polarity="nmos",
         vth0=0.35,
@@ -59,6 +66,7 @@ def make_40nm() -> Technology:
         cox=1.5e-2,
         cgdo=2.0e-10,
         vth_tc=-0.8e-3,
+        noise=NoiseCard(gamma=1.1, kf=2.0e-30, af=1.0),
     )
     pmos = MosfetModel(
         polarity="pmos",
@@ -68,6 +76,7 @@ def make_40nm() -> Technology:
         cox=1.5e-2,
         cgdo=2.0e-10,
         vth_tc=-1.0e-3,
+        noise=NoiseCard(gamma=1.0, kf=5.0e-31, af=1.0),
     )
     return Technology(
         name="40nm",

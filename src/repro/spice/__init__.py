@@ -44,6 +44,7 @@ from repro.spice.dc import (
     dc_operating_point_batch,
 )
 from repro.spice.ac import ACResult, ac_analysis, ac_analysis_batch
+from repro.spice.noise import NoiseResult, noise_analysis
 from repro.spice.mna import (
     SPARSE_SIZE_THRESHOLD,
     BatchStamper,
@@ -84,6 +85,8 @@ __all__ = [
     "ACResult",
     "ac_analysis",
     "ac_analysis_batch",
+    "NoiseResult",
+    "noise_analysis",
     "Stamper",
     "BatchStamper",
     "SparseStamper",

@@ -88,6 +88,33 @@ class ACResult:
         margin = 180.0 + interpolated
         return float(np.clip(margin, -180.0, 360.0))
 
+    def gain_margin_db(self, node: str) -> float:
+        """Gain margin of a loop-gain response: ``-|T|`` dB at -180 degrees.
+
+        The phase is referenced to its low-frequency value (like
+        :meth:`phase_margin_degrees`) and the first crossing of -180 degrees
+        is located by log-frequency interpolation.  A response whose phase
+        never reaches -180 within the sweep reports the margin at the last
+        analysed frequency -- a conservative lower bound, mirroring
+        :meth:`unity_gain_frequency`'s clamp.
+        """
+        phase = self.phase_degrees(node)
+        relative = phase - phase[0]
+        below = np.nonzero(relative <= -180.0)[0]
+        magnitude = self.magnitude_db(node)
+        if below.size == 0:
+            return float(-magnitude[-1])
+        index = below[0]
+        if index == 0:
+            return float(-magnitude[0])
+        p_low, p_high = relative[index - 1], relative[index]
+        fraction = (p_low + 180.0) / (p_low - p_high)
+        log_f = (np.log(self.frequencies[index - 1])
+                 + fraction * (np.log(self.frequencies[index])
+                               - np.log(self.frequencies[index - 1])))
+        crossing = float(np.exp(log_f))
+        return float(-self.gain_at(node, crossing))
+
     def gain_at(self, node: str, frequency: float) -> float:
         """Interpolated magnitude (dB) at an arbitrary frequency."""
         magnitude = self.magnitude_db(node)

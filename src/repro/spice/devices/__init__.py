@@ -1,6 +1,6 @@
 """Circuit devices: passives, sources and nonlinear semiconductor models."""
 
-from repro.spice.devices.base import Device, TwoTerminal
+from repro.spice.devices.base import Device, NoiseSource, TwoTerminal
 from repro.spice.devices.passives import Capacitor, Inductor, Resistor
 from repro.spice.devices.sources import (
     VCCS,
@@ -14,10 +14,11 @@ from repro.spice.devices.sources import (
     Waveform,
 )
 from repro.spice.devices.diode import Diode
-from repro.spice.devices.mosfet import Mosfet, MosfetModel
+from repro.spice.devices.mosfet import Mosfet, MosfetModel, NoiseCard
 
 __all__ = [
     "Device",
+    "NoiseSource",
     "TwoTerminal",
     "Resistor",
     "Capacitor",
@@ -29,6 +30,7 @@ __all__ = [
     "Diode",
     "Mosfet",
     "MosfetModel",
+    "NoiseCard",
     "Waveform",
     "StepWaveform",
     "PulseWaveform",

@@ -14,6 +14,17 @@ Node indices are resolved by :class:`repro.spice.netlist.Circuit` before any
 analysis runs; index ``-1`` denotes the ground node and is skipped by the
 stamping helpers in :mod:`repro.spice.mna`.
 
+Noise contract
+--------------
+:meth:`Device.noise_sources` returns the device's small-signal noise
+generators at a given DC operating point as a list of :class:`NoiseSource`
+records -- each an independent current source between two resolved node
+indices with a white plus ``1/f``-shaped power spectral density.  The
+default returns no sources (ideal independent sources, controlled sources
+and reactive elements are noiseless); :mod:`repro.spice.noise` sweeps the
+sources through one adjoint solve of the linearised AC system per
+frequency to obtain every source-to-output transfer at once.
+
 Transient contract
 ------------------
 Transient analysis (:func:`repro.spice.transient.transient_analysis`)
@@ -109,6 +120,53 @@ def commit_capacitor_companion(capacitance: float, state: dict,
     state[i_key] = i_new
 
 
+class NoiseSource:
+    """One independent noise current generator of a device.
+
+    The generator injects a current between the resolved MNA node indices
+    ``node_a`` and ``node_b`` (``-1`` for ground) with the one-sided power
+    spectral density
+
+        ``S(f) = white + flicker / f**flicker_exponent``   [A^2/Hz]
+
+    which covers every classical device noise mechanism: thermal and shot
+    noise are frequency-flat (``flicker == 0``) and flicker noise carries
+    its full bias/geometry prefactor in ``flicker`` with the canonical
+    ``1/f`` slope.  Sources are statistically independent, so analyses sum
+    their squared transfer-weighted PSDs.
+    """
+
+    __slots__ = ("device", "label", "node_a", "node_b", "white", "flicker",
+                 "flicker_exponent")
+
+    def __init__(self, device: str, label: str, node_a: int, node_b: int,
+                 white: float, flicker: float = 0.0,
+                 flicker_exponent: float = 1.0):
+        if white < 0.0 or flicker < 0.0:
+            raise ValueError(
+                f"noise PSD coefficients of {device}:{label} must be "
+                f"non-negative, got white={white}, flicker={flicker}")
+        self.device = device
+        self.label = label
+        self.node_a = int(node_a)
+        self.node_b = int(node_b)
+        self.white = float(white)
+        self.flicker = float(flicker)
+        self.flicker_exponent = float(flicker_exponent)
+
+    def psd(self, frequencies: np.ndarray) -> np.ndarray:
+        """Evaluate the current PSD (A^2/Hz) on a frequency grid."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        psd = np.full(frequencies.shape, self.white)
+        if self.flicker:
+            psd = psd + self.flicker / frequencies**self.flicker_exponent
+        return psd
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"NoiseSource({self.device}:{self.label}, "
+                f"white={self.white:.3e}, flicker={self.flicker:.3e})")
+
+
 class Device:
     """Base class for all circuit elements."""
 
@@ -197,6 +255,20 @@ class Device:
     def stamp_ac(self, stamper, omega: float, operating_point) -> None:
         """Stamp AC small-signal contributions."""
         raise NotImplementedError
+
+    # -- noise ---------------------------------------------------------- #
+    def noise_sources(self, operating_point) -> list[NoiseSource]:
+        """This device's noise generators at ``operating_point``.
+
+        Implementations read their bias quantities from
+        ``operating_point.device_info[self.name]`` (the same record
+        :meth:`operating_info` produced during the DC solve) and return one
+        :class:`NoiseSource` per independent physical mechanism, with node
+        indices taken from the device's resolved ``node_indices``.  The
+        default -- ideal sources, controlled sources, capacitors and
+        inductors -- is noiseless.
+        """
+        return []
 
     # -- transient ------------------------------------------------------ #
     def init_transient(self, operating_point, temperature: float) -> dict:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.spice.devices.base import TwoTerminal
+from repro.spice.devices.base import NoiseSource, TwoTerminal
 
 _K_BOLTZMANN = 1.380649e-23
 _Q_ELECTRON = 1.602176634e-19
@@ -123,6 +123,13 @@ class Diode(TwoTerminal):
         info = operating_point.device_info.get(self.name, {})
         conductance = info.get("gd", 1e-12)
         stamper.add_conductance(self.positive_index, self.negative_index, conductance)
+
+    def noise_sources(self, operating_point) -> list[NoiseSource]:
+        """Shot noise of the junction current: PSD ``2 q |Id|``."""
+        info = operating_point.device_info.get(self.name, {})
+        white = 2.0 * _Q_ELECTRON * abs(info.get("i", 0.0))
+        return [NoiseSource(self.name, "shot", self.positive_index,
+                            self.negative_index, white=white)]
 
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         v = self.voltage_across(voltages)

@@ -14,10 +14,50 @@ import numpy as np
 
 from repro.spice.devices.base import (
     Device,
+    NoiseSource,
     commit_capacitor_companion,
     stamp_capacitor_companion,
     stamp_capacitor_companion_batch,
 )
+
+#: Boltzmann constant (J/K), exact SI value.
+_K_BOLTZMANN = 1.380649e-23
+
+
+@dataclass(frozen=True)
+class NoiseCard:
+    """Noise parameters of one MOSFET polarity.
+
+    Lives on the :class:`MosfetModel` (and therefore on the PDK
+    ``Technology`` card, whose ``fingerprint`` hashes every nested model
+    field), so corner- and variation-derived cards compose with noise for
+    free.
+
+    Attributes
+    ----------
+    gamma:
+        Channel thermal-noise excess factor: drain current PSD
+        ``4*k*T*gamma*gm``.  ``2/3`` for a long-channel device in
+        saturation, rising above 1 for short channels.
+    kf:
+        Flicker coefficient of ``KF * Ids**AF / (Cox * W * L * f)``.
+    af:
+        Flicker current exponent ``AF`` (1 for the classical model).
+    """
+
+    gamma: float = 2.0 / 3.0
+    kf: float = 0.0
+    af: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0.0 or self.kf < 0.0:
+            raise ValueError(
+                f"noise card coefficients must be non-negative, got "
+                f"gamma={self.gamma}, kf={self.kf}")
+
+
+#: Thermal-only default so bare models stay valid without a PDK card.
+DEFAULT_NOISE = NoiseCard()
 
 
 @dataclass(frozen=True)
@@ -43,6 +83,8 @@ class MosfetModel:
         Threshold temperature coefficient (V/K), negative for both polarities.
     mobility_temp_exponent:
         ``kp(T) = kp * (T/Tnom)^exponent`` (exponent is negative).
+    noise:
+        Thermal/flicker :class:`NoiseCard` of this polarity.
     """
 
     polarity: str
@@ -53,6 +95,7 @@ class MosfetModel:
     cgdo: float
     vth_tc: float = -1e-3
     mobility_temp_exponent: float = -1.5
+    noise: NoiseCard = DEFAULT_NOISE
 
     def __post_init__(self) -> None:
         if self.polarity not in ("nmos", "pmos"):
@@ -401,6 +444,30 @@ class Mosfet(Device):
         stamper.add_conductance(drain, source, gds)
         stamper.add_conductance(gate, source, 1j * omega * cgs)
         stamper.add_conductance(gate, drain, 1j * omega * cgd)
+
+    def noise_sources(self, operating_point) -> list[NoiseSource]:
+        """Channel thermal (``4kT*gamma*gm``) and flicker noise at the bias.
+
+        Both mechanisms appear as one drain-to-source current generator:
+        thermal noise is white, flicker carries the SPICE-style
+        ``KF * Ids**AF / (Cox * W * L * f)`` density with KF/AF/gamma from
+        the model's :class:`NoiseCard`.  Bias quantities come from the
+        recorded operating info, so the sources are consistent with the AC
+        linearisation reusing the same solve.
+        """
+        info = operating_point.device_info.get(self.name)
+        if info is None:
+            raise KeyError(f"no operating point recorded for {self.name}")
+        drain, _, source, _ = self.node_indices
+        card = self.model.noise
+        t_kelvin = operating_point.temperature + 273.15
+        white = 4.0 * _K_BOLTZMANN * t_kelvin * card.gamma * abs(info["gm"])
+        flicker = 0.0
+        if card.kf > 0.0:
+            gate_cap = self.model.cox * self.width * self.length
+            flicker = card.kf * abs(info["ids"])**card.af / gate_cap
+        return [NoiseSource(self.name, "channel", drain, source,
+                            white=white, flicker=flicker)]
 
     def init_transient(self, operating_point, temperature: float) -> dict:
         """Freeze the gate capacitances at the DC bias and record their state.

@@ -5,12 +5,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.spice.devices.base import (
+    NoiseSource,
     TwoTerminal,
     commit_capacitor_companion,
     stamp_capacitor_companion,
     stamp_capacitor_companion_batch,
 )
 from repro.utils.validation import check_positive
+
+_K_BOLTZMANN = 1.380649e-23
 
 
 class Resistor(TwoTerminal):
@@ -50,6 +53,13 @@ class Resistor(TwoTerminal):
                               times, dts, trap, temperatures,
                               context=None) -> None:
         self.stamp_dc_batch(stamper, siblings, voltages, temperatures, context)
+
+    def noise_sources(self, operating_point) -> list[NoiseSource]:
+        """Johnson-Nyquist thermal noise: current PSD ``4kT/R``."""
+        t_kelvin = operating_point.temperature + 273.15
+        white = 4.0 * _K_BOLTZMANN * t_kelvin / self.resistance
+        return [NoiseSource(self.name, "thermal", self.positive_index,
+                            self.negative_index, white=white)]
 
     def operating_info(self, voltages: np.ndarray, temperature: float) -> dict[str, float]:
         v = self.voltage_across(voltages)

@@ -167,3 +167,114 @@ class TestFOMProblem:
         normalization = {name: (0.0, 1.0) for name in two_stage_problem.metric_names}
         fom = FOMProblem(two_stage_problem, normalization=normalization)
         assert fom.normalization == normalization
+
+
+GOOD_LDO = dict(w_pass=100e-6, l_pass=0.5e-6, gm_ea=3e-3, r_ea=3e5,
+                c_ea=5e-12, r_fb=2e4)
+GOOD_COMPARATOR = dict(w_in=10e-6, l_in=0.18e-6, w_latch_n=4e-6,
+                       w_latch_p=8e-6, w_tail=10e-6)
+GOOD_RING = dict(w_n=5e-6, w_p=10e-6, l_gate=0.18e-6, c_stage=1e-12)
+
+
+class TestLowDropoutRegulator:
+    def test_good_design_regulates_and_rejects_supply(self):
+        problem = make_problem("ldo")
+        metrics, ok = problem.simulate_checked(GOOD_LDO)
+        assert ok
+        # Regulation to 0.8 * VDD within the spec band, real PSRR and a
+        # physical (finite, positive) noise and droop readout.
+        assert metrics["v_err"] < 50.0
+        assert metrics["psrr"] > 30.0
+        assert 0.0 < metrics["vnoise"] < 1e4
+        assert 0.0 <= metrics["droop"] < 1e3
+        assert metrics["i_q"] > 0.0
+
+    def test_more_loop_gain_improves_psrr(self):
+        problem = make_problem("ldo")
+        weak = dict(GOOD_LDO, gm_ea=1e-4)
+        strong = dict(GOOD_LDO, gm_ea=3e-3)
+        psrr_weak = problem.simulate(weak)["psrr"]
+        psrr_strong = problem.simulate(strong)["psrr"]
+        assert psrr_strong > psrr_weak
+
+    def test_noise_counts_every_device_class(self):
+        from repro.bench import Simulator
+        problem = make_problem("ldo")
+        result = Simulator().run(problem.bench, GOOD_LDO)
+        contributions = result["noise"].contribution_fractions()
+        # Pass device and both divider resistors all contribute.
+        assert {"MPASS", "RFB1", "RFB2"} <= set(contributions)
+
+
+class TestDynamicComparator:
+    def test_decides_correctly_and_fast(self):
+        problem = make_problem("comparator")
+        metrics, ok = problem.simulate_checked(GOOD_COMPARATOR)
+        assert ok
+        assert metrics["decision"] == 1.0
+        assert 0.0 < metrics["t_decide"] < 5.0
+        assert metrics["v_diff"] > 0.5 * problem.technology.vdd
+
+    def test_flipped_input_flips_decision(self):
+        problem = make_problem("comparator", input_overdrive=-5e-3)
+        metrics = problem.simulate(GOOD_COMPARATOR)
+        assert metrics["decision"] == 0.0
+        assert metrics["v_diff"] < 0.0
+
+    def test_heavier_load_slows_decision(self):
+        fast = make_problem("comparator").simulate(GOOD_COMPARATOR)
+        slow = make_problem("comparator",
+                            load_capacitance=500e-15).simulate(GOOD_COMPARATOR)
+        assert slow["t_decide"] > fast["t_decide"]
+
+
+class TestRingOscillatorVCO:
+    def test_oscillates_with_physical_metrics(self):
+        problem = make_problem("ring_vco", t_stop=100e-9)
+        metrics, ok = problem.simulate_checked(GOOD_RING)
+        assert ok
+        assert metrics["freq"] > 50.0
+        assert metrics["power"] > 0.0
+        assert metrics["pn_proxy"] > 0.0
+        # Metastable bias sits between the rails.
+        vdd = problem.technology.vdd
+        assert 0.2 * vdd < metrics["v_mid"] < 0.8 * vdd
+
+    def test_larger_stage_cap_lowers_frequency(self):
+        problem = make_problem("ring_vco", t_stop=100e-9)
+        fast = problem.simulate(GOOD_RING)
+        slow = problem.simulate(dict(GOOD_RING, c_stage=3e-12))
+        assert 0.0 < slow["freq"] < fast["freq"]
+
+
+class TestRobustProblems:
+    def test_registry_carries_robust_variants(self):
+        assert {"two_stage_opamp_robust", "bandgap_robust",
+                "ldo_robust"} <= set(available_problems())
+
+    def test_structure_composes_corners_and_yield(self):
+        problem = make_problem("ldo_robust", mc={"n_min": 4, "n_max": 4})
+        try:
+            assert problem.name == "ldo_robust_180nm"
+            # Yield constraint on top of the base specs, one yield child per
+            # corner, nominal corner first.
+            assert [c.name for c in problem.constraints][-1] == "yield"
+            assert len(problem.children) == 3
+            assert problem.children[0].sim_temperature == pytest.approx(27.0)
+            info = problem.describe()
+            assert len(info["corners"]) == 3
+            assert info["yield_target"] == pytest.approx(0.9)
+            with pytest.raises(NotImplementedError):
+                problem.testbench()
+        finally:
+            problem.close()
+
+    def test_cache_tokens_distinguish_corner_sets(self):
+        from repro.bench import standard_corners
+        default = make_problem("ldo_robust")
+        full = make_problem("ldo_robust", corners=standard_corners())
+        try:
+            assert default.cache_token != full.cache_token
+        finally:
+            default.close()
+            full.close()

@@ -6,7 +6,10 @@ Each analysis engine is validated against an independent reference:
   and series-RLC ringing against the underdamped closed form;
 * AC -- the vectorized stacked-frequency path cross-checked against the
   per-frequency reference loop for every circuit in the registry;
-* DC -- a swept diode divider against the Shockley equation.
+* DC -- a swept diode divider against the Shockley equation;
+* noise -- a resistive divider against 4kT(R1 || R2), RC integrated noise
+  against kT/C, and the adjoint source transfers against direct forward
+  injections on a registry op-amp.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.spice import (
     ac_analysis,
     dc_operating_point,
     dc_sweep,
+    noise_analysis,
     transient_analysis,
 )
 
@@ -149,3 +153,95 @@ class TestDCGolden:
         # And the junction voltage grows logarithmically: ~60 mV/decade.
         assert np.all(np.diff(v_diode) > 0)
         assert v_diode[-1] < 1.0
+
+
+class TestNoiseGolden:
+    """Adjoint noise analysis vs. thermodynamic closed forms."""
+
+    K_BOLTZMANN = 1.380649e-23
+
+    def test_resistor_divider_matches_4ktr_parallel(self):
+        """Output noise of a resistive divider is 4kT(R1 || R2), flat.
+
+        The driving voltage source is an AC short, so the two resistors
+        appear in parallel from the output node -- the canonical Johnson
+        noise sanity check.  Acceptance bar: <0.1% everywhere.
+        """
+        r1, r2 = 1e3, 3e3
+        circuit = Circuit("divider_golden")
+        circuit.add(VoltageSource("VIN", "in", "0", dc=0.0, ac=1.0))
+        circuit.add(Resistor("R1", "in", "out", r1))
+        circuit.add(Resistor("R2", "out", "0", r2))
+        op = dc_operating_point(circuit)
+        frequencies = np.logspace(0, 9, 46)
+        result = noise_analysis(circuit, op, frequencies, output="out")
+        t_kelvin = op.temperature + 273.15
+        parallel = r1 * r2 / (r1 + r2)
+        expected = 4.0 * self.K_BOLTZMANN * t_kelvin * parallel
+        np.testing.assert_allclose(result.output_psd,
+                                   np.full_like(frequencies, expected),
+                                   rtol=1e-3)
+
+    def test_rc_integrated_noise_matches_kt_over_c(self):
+        """Total integrated output noise of an RC is kT/C, independent of R.
+
+        The trapezoid rule on a dense log grid spanning far past the pole
+        must recover the closed form to <0.1% -- this pins both the PSD
+        shape (Lorentzian) and the integration machinery.
+        """
+        resistance, capacitance = 1e3, 1e-9
+        circuit = Circuit("ktc_golden")
+        circuit.add(VoltageSource("VIN", "in", "0", dc=0.0, ac=1.0))
+        circuit.add(Resistor("R1", "in", "out", resistance))
+        circuit.add(Capacitor("C1", "out", "0", capacitance))
+        op = dc_operating_point(circuit)
+        # Pole at 159 kHz: integrate 1 Hz .. 10 GHz, 200 points/decade.
+        frequencies = np.logspace(0, 10, 2001)
+        result = noise_analysis(circuit, op, frequencies, output="out")
+        total = result.integrated_output_noise()
+        t_kelvin = op.temperature + 273.15
+        expected = np.sqrt(self.K_BOLTZMANN * t_kelvin / capacitance)
+        assert total == pytest.approx(expected, rel=1e-3)
+
+    def test_adjoint_transfers_match_direct_solves_on_opamp(self):
+        """Adjoint source->output transfers vs. direct forward injections.
+
+        On a registry op-amp bias, every noise source's transimpedance from
+        the single adjoint solve must equal the brute-force answer: inject
+        a unit AC current between the source's nodes and forward-solve for
+        the output voltage.
+        """
+        from repro.spice.ac import _AC_GMIN
+        from repro.spice.noise import _gather_sources
+
+        problem = make_problem("two_stage_opamp", "180nm")
+        for row in problem.design_space.sample(10, rng=np.random.default_rng(7)):
+            design = problem.design_space.as_dict(row)
+            circuit = problem.build_circuit(design)
+            op = dc_operating_point(circuit)
+            if op.converged:
+                break
+        else:
+            pytest.fail("no converged op-amp design found")
+        frequencies = np.logspace(1, 8, 15)
+        result = noise_analysis(circuit, op, frequencies, output="out")
+        sources = _gather_sources(circuit, op)
+        assert sources, "op-amp bias exposes no noise sources"
+        out_index = circuit.node_index("out")
+        diagonal = np.arange(circuit.n_nodes)
+        for f_index, frequency in enumerate(frequencies):
+            stamper = circuit.stamp_ac(2.0 * np.pi * frequency, op)
+            matrix = stamper.matrix
+            matrix[diagonal, diagonal] += _AC_GMIN
+            for source in sources:
+                injection = np.zeros(matrix.shape[0], dtype=complex)
+                if source.node_a >= 0:
+                    injection[source.node_a] += 1.0
+                if source.node_b >= 0:
+                    injection[source.node_b] -= 1.0
+                forward = np.linalg.solve(matrix, injection)
+                key = f"{source.device}:{source.label}"
+                adjoint_transfer = result.source_transfers[key][f_index]
+                np.testing.assert_allclose(
+                    adjoint_transfer, forward[out_index], rtol=1e-8,
+                    err_msg=f"{key} diverges at {frequency:.3g} Hz")
