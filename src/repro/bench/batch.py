@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.bench.analyses import (
     ACSpec,
     DCSweepSpec,
@@ -122,18 +123,29 @@ class BatchSimulator:
             return []
         self._validate(states)
         reference = states[0].bench
-        for position, spec in enumerate(reference.analyses):
-            if isinstance(spec, OPSpec):
-                self._run_op(states, position, spec.transient)
-            elif isinstance(spec, ACSpec):
-                self._run_ac(states, position)
-            elif isinstance(spec, NoiseSpec):
-                self._run_noise(states, position)
-            elif isinstance(spec, TranSpec):
-                self._run_tran(states, position)
-            else:
-                self._run_serial(states, position)
-        self._run_measures(states)
+        with telemetry.span("bench.run_batch", bench=reference.name,
+                            batch=len(states)):
+            for position, spec in enumerate(reference.analyses):
+                if isinstance(spec, OPSpec):
+                    self._run_op(states, position, spec.transient)
+                elif isinstance(spec, ACSpec):
+                    self._run_ac(states, position)
+                elif isinstance(spec, NoiseSpec):
+                    self._run_noise(states, position)
+                elif isinstance(spec, TranSpec):
+                    self._run_tran(states, position)
+                else:
+                    self._run_serial(states, position)
+            self._run_measures(states)
+        if telemetry.enabled():
+            telemetry.inc("repro_bench_runs_total", len(states))
+            failed = sum(1 for job in states if not job.alive)
+            if failed:
+                telemetry.inc("repro_bench_failures_total", failed)
+            telemetry.inc("repro_op_solves_total",
+                          sum(job.n_op_solves for job in states))
+            telemetry.inc("repro_op_reused_total",
+                          sum(job.n_op_reused for job in states))
         output: list[SimResult | BatchJobError] = []
         for job in states:
             if job.error is not None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.bench.analyses import (
     ACSpec,
     AnalysisSpec,
@@ -107,6 +108,17 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def run(self, bench: Testbench, design: dict[str, float]) -> SimResult:
         """Execute ``bench`` for one named design point."""
+        with telemetry.span("bench.run", bench=bench.name):
+            result = self._run(bench, design)
+        if telemetry.enabled():
+            telemetry.inc("repro_bench_runs_total")
+            if not result.ok:
+                telemetry.inc("repro_bench_failures_total")
+            telemetry.inc("repro_op_solves_total", self.n_op_solves)
+            telemetry.inc("repro_op_reused_total", self.n_op_reused)
+        return result
+
+    def _run(self, bench: Testbench, design: dict[str, float]) -> SimResult:
         self.n_op_solves = self.n_op_reused = self.n_circuits_built = 0
         circuits: dict[str, object] = {}
         ops: dict[tuple, OperatingPoint] = {}

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.bo.problem import EvaluatedDesign
 
 
@@ -55,6 +56,12 @@ class DesignCache:
 
     All entry and counter mutations happen under one lock, so a cache may be
     shared between engines whose coordinating threads run concurrently.
+    (Thread-safety audit: every path that touches ``_entries`` or ``stats``
+    -- :meth:`get`, :meth:`put`, :meth:`record_saved_duplicate`,
+    :meth:`clear` -- acquires ``_lock`` first; ``stats`` reads outside the
+    lock may observe a counter mid-update but never torn state, since the
+    fields are plain ints.  ``tests/test_cache_hammer.py`` hammers a shared
+    cache from many threads and checks counter conservation.)
 
     Parameters
     ----------
@@ -99,12 +106,17 @@ class DesignCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        if entry is None:
+            telemetry.inc("repro_cache_misses_total")
+            return None
+        telemetry.inc("repro_cache_hits_total")
+        return entry
 
     def put(self, key: str, evaluation: EvaluatedDesign) -> None:
+        evicted = 0
         with self._lock:
             self._entries[key] = evaluation
             self._entries.move_to_end(key)
@@ -112,11 +124,16 @@ class DesignCache:
                 while len(self._entries) > self.maxsize:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
+                    evicted += 1
+        telemetry.inc("repro_cache_puts_total")
+        if evicted:
+            telemetry.inc("repro_cache_evictions_total", evicted)
 
     def record_saved_duplicate(self) -> None:
         """Count a within-batch duplicate served without simulation as a hit."""
         with self._lock:
             self.stats.hits += 1
+        telemetry.inc("repro_cache_hits_total")
 
     def clear(self) -> None:
         with self._lock:

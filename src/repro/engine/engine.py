@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.bo.problem import EvaluatedDesign, OptimizationProblem
 from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.cache import DesignCache
@@ -113,6 +114,11 @@ class EvaluationEngine:
         """
         x = check_matrix(x, "x", n_cols=self.problem.design_space.dim)
         n = x.shape[0]
+        with telemetry.span("engine.evaluate_batch", problem=self.problem.name,
+                            batch=n):
+            return self._evaluate_batch(x, n)
+
+    def _evaluate_batch(self, x: np.ndarray, n: int) -> list[EvaluatedDesign]:
         results: list[EvaluatedDesign | None] = [None] * n
 
         if self.cache is None:
@@ -144,6 +150,7 @@ class EvaluationEngine:
 
         if pending:
             outcomes = self._dispatch(x, pending)
+            telemetry.inc("repro_designs_evaluated_total", len(pending))
             for index, outcome in zip(pending, outcomes):
                 self.n_evaluated += 1
                 if isinstance(outcome, _TaskFailure):
@@ -154,6 +161,7 @@ class EvaluationEngine:
                             "problem-implementation bug, not a failed design, "
                             "so it is not isolated")
                     self.n_failures += 1
+                    telemetry.inc("repro_design_failures_total")
                     # Loud but non-fatal: numerical blow-ups are real results
                     # ("this region is bad") but should not pass unnoticed.
                     warnings.warn(

@@ -13,8 +13,13 @@ results store:
 ``GET /api/studies/<id>/curve``       best-so-far objective per simulation
 ``GET /api/studies/<id>/pareto``      non-dominated front over chosen
                                       metrics (``?metrics=a,b&senses=min,max``)
-``GET /api/workers``                  worker heartbeats + lease health
+``GET /api/workers``                  worker heartbeats + lease health +
+                                      throughput (rows/s)
 ``GET /api/jobs``                     queue counts (``?study=<id>``)
+``GET /api/metrics``                  merged telemetry snapshots, queue
+                                      latency, worker throughput (JSON)
+``GET /metrics``                      the same registry in Prometheus text
+                                      exposition format
 ``GET /api/bench``                    ingested BENCH records (``?name=``)
 ``GET /api/problems``                 the ``list-problems --json`` listing
 ``GET /api/optimizers``               the ``list-optimizers --json`` listing
@@ -29,6 +34,7 @@ never blocks the drivers and workers writing to the same file.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -229,10 +235,89 @@ def worker_health(store: ResultsStore, stale_after: float = 60.0) -> list[dict]:
     out = []
     for row in store.list_workers():
         age = now - row["heartbeat_at"]
+        busy = float(row.get("busy_seconds") or 0.0)
+        rows_done = int(row.get("rows_done") or 0)
         out.append({**row,
                     "heartbeat_age": age,
-                    "alive": row["status"] != "stopped" and age < stale_after})
+                    "alive": row["status"] != "stopped" and age < stale_after,
+                    "rows_per_second": rows_done / busy if busy > 0 else None})
     return out
+
+
+def metrics_overview(store: ResultsStore) -> dict:
+    """The ``/api/metrics`` body: merged registry + service-level signals.
+
+    Merges the latest persisted snapshot of every source (driver processes
+    and workers write cumulative snapshots into the ``metrics`` table) --
+    plus this process's live registry when telemetry is enabled -- and adds
+    the store-derived signals the solver-health dashboard plots: queue
+    latency over completed jobs, per-worker throughput and the rescue rate.
+    """
+    from repro import telemetry
+    snapshots = store.latest_metrics_snapshots()
+    # One process = one registry: sources sharing a pid (a driver with
+    # --spawn-workers threads) write overlapping cumulative snapshots, so
+    # keep only the freshest snapshot per process before merging.
+    by_process: dict = {}
+    for row in snapshots:
+        key = row["payload"].get("pid", row["source"])
+        kept = by_process.get(key)
+        if kept is None or row["created_at"] > kept["created_at"]:
+            by_process[key] = row
+    if telemetry.enabled():
+        # The live registry supersedes anything this process persisted.
+        by_process[os.getpid()] = {"payload": telemetry.snapshot(),
+                                   "created_at": time.time()}
+    merged = telemetry.merge_snapshots(
+        row["payload"] for row in by_process.values())
+    counters = merged.get("counters", {})
+    solves = counters.get("repro_solves_total", 0)
+    latencies = [float(row["latency"]) for row in store.connection().execute(
+        """SELECT updated_at - created_at AS latency FROM jobs
+           WHERE status = 'done'""").fetchall()]
+    workers = []
+    for row in store.list_workers():
+        busy = float(row.get("busy_seconds") or 0.0)
+        rows_done = int(row.get("rows_done") or 0)
+        workers.append({
+            "worker_id": row["worker_id"],
+            "n_jobs_done": int(row["n_jobs_done"]),
+            "rows_done": rows_done,
+            "busy_seconds": busy,
+            "rows_per_second": rows_done / busy if busy > 0 else None,
+        })
+    return {
+        "sources": [{"source": row["source"], "study_id": row["study_id"],
+                     "batch_index": int(row["batch_index"]),
+                     "created_at": row["created_at"]} for row in snapshots],
+        "merged": merged,
+        "rescue_rate": (counters.get("repro_rescue_entries_total", 0) / solves
+                        if solves else 0.0),
+        "queue_latency": {
+            "n_done": len(latencies),
+            "mean_seconds": (sum(latencies) / len(latencies)
+                             if latencies else None),
+            "max_seconds": max(latencies) if latencies else None,
+        },
+        "workers": workers,
+    }
+
+
+def prometheus_body(store: ResultsStore) -> str:
+    """The ``/metrics`` body: merged registry in Prometheus text format.
+
+    Registry counters/histograms come from :func:`metrics_overview`'s
+    merge; queue depths are appended as gauges so scrapers see backlog
+    without a second endpoint.
+    """
+    from repro import telemetry
+    text = telemetry.prometheus_text(metrics_overview(store)["merged"])
+    counts = WorkQueue(store).counts()
+    lines = [f'repro_queue_jobs{{status="{status}"}} {int(count)}'
+             for status, count in sorted(counts.items())]
+    if lines:
+        text += "# TYPE repro_queue_jobs gauge\n" + "\n".join(lines) + "\n"
+    return text
 
 
 # ---------------------------------------------------------------------- #
@@ -273,6 +358,11 @@ class _Routes:
         if path == "/api/workers":
             return 200, "application/json", worker_health(
                 store, stale_after=float(first("stale_after", 60.0)))
+        if path == "/api/metrics":
+            return 200, "application/json", metrics_overview(store)
+        if path == "/metrics":
+            return (200, "text/plain; version=0.0.4; charset=utf-8",
+                    prometheus_body(store))
         if path == "/api/jobs":
             queue = WorkQueue(store)
             study = first("study")
@@ -427,10 +517,14 @@ _DASHBOARD_HTML = """<!DOCTYPE html>
   <div id="pareto" class="muted"></div>
 </div>
 
+<h2>Solver health</h2>
+<div id="solver" class="muted">no telemetry snapshots yet</div>
+<div id="iterhist" style="margin-top:.4rem"></div>
+
 <h2>Workers</h2>
 <table id="workers"><thead><tr>
   <th>worker</th><th>host</th><th>status</th><th>jobs done</th>
-  <th>heartbeat age</th>
+  <th>rows</th><th>busy</th><th>rows/s</th><th>heartbeat age</th>
 </tr></thead><tbody></tbody></table>
 
 <h2>Queue</h2>
@@ -507,13 +601,48 @@ async function refreshInfra() {
     const tr = document.createElement('tr');
     tr.append(cell(w.worker_id), cell(w.hostname),
               cell(w.status, w.alive ? 'ok' : 'muted'),
-              cell(w.n_jobs_done), cell(`${w.heartbeat_age.toFixed(1)}s`));
+              cell(w.n_jobs_done), cell(w.rows_done),
+              cell(`${(w.busy_seconds ?? 0).toFixed(1)}s`),
+              cell(w.rows_per_second === null ? null
+                   : w.rows_per_second.toFixed(2)),
+              cell(`${w.heartbeat_age.toFixed(1)}s`));
     body.append(tr);
   }
   const jobs = await get('/api/jobs');
   document.getElementById('jobs').innerHTML =
     Object.entries(jobs.counts).map(([k, v]) =>
       `<span class="pill">${k}: ${v}</span>`).join(' ');
+  const metrics = await get('/api/metrics');
+  const c = metrics.merged.counters || {};
+  const hists = metrics.merged.histograms || {};
+  const solves = c.repro_solves_total || 0;
+  const pills = [
+    `solves: ${solves}`,
+    `newton iterations: ${c.repro_newton_iterations_total || 0}`,
+    `solve failures: ${c.repro_solve_failures_total || 0}`,
+    `rescue rate: ${(metrics.rescue_rate * 100).toFixed(1)}%`,
+    `cache hits: ${c.repro_cache_hits_total || 0}`,
+    `cache misses: ${c.repro_cache_misses_total || 0}`,
+  ];
+  const occ = hists.repro_batch_occupancy;
+  if (occ && occ.count)
+    pills.push(`batch occupancy: ${(occ.sum / occ.count * 100).toFixed(0)}%`);
+  const lat = metrics.queue_latency;
+  if (lat.mean_seconds !== null)
+    pills.push(`queue latency: ${lat.mean_seconds.toFixed(2)}s mean over ` +
+               `${lat.n_done} jobs`);
+  const solver = document.getElementById('solver');
+  if (solves || metrics.sources.length) {
+    solver.className = '';
+    solver.innerHTML = pills.map(p => `<span class="pill">${p}</span>`).join(' ');
+  }
+  const iters = hists.repro_solve_iterations;
+  const histDiv = document.getElementById('iterhist');
+  if (iters && iters.count) {
+    const labels = [...iters.bounds.map(String), 'inf'];
+    histDiv.innerHTML = 'iterations/solve: ' + iters.counts.map((n, i) =>
+      `<span class="pill">&le;${labels[i]}: ${n}</span>`).join(' ');
+  }
   const bench = await get('/api/bench');
   const latest = new Map();
   for (const b of bench) latest.set(b.name, b);

@@ -26,6 +26,11 @@ Layout
 ``bench_records``
     Ingested ``BENCH_*`` benchmark records (``python -m repro db
     ingest-bench``), keyed by name + content so re-ingesting is a no-op.
+``metrics``
+    Telemetry registry snapshots, one JSON payload per ``(study, batch,
+    source)`` where ``source`` is the emitting process (driver or worker).
+    Snapshots are cumulative per source; ``/api/metrics`` merges the latest
+    row of every source into deployment totals.
 
 Connections are per-thread (the HTTP server is threaded); writes go through
 short ``BEGIN IMMEDIATE`` transactions so cross-process writers serialize
@@ -117,9 +122,21 @@ CREATE TABLE IF NOT EXISTS workers (
     status       TEXT NOT NULL DEFAULT 'idle',
     current_job  INTEGER,
     n_jobs_done  INTEGER NOT NULL DEFAULT 0,
+    rows_done    INTEGER NOT NULL DEFAULT 0,
+    busy_seconds REAL NOT NULL DEFAULT 0,
     started_at   REAL NOT NULL,
     heartbeat_at REAL NOT NULL
 );
+
+CREATE TABLE IF NOT EXISTS metrics (
+    study_id    TEXT NOT NULL,
+    batch_index INTEGER NOT NULL,
+    source      TEXT NOT NULL DEFAULT 'driver',
+    payload     TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    PRIMARY KEY (study_id, batch_index, source)
+);
+CREATE INDEX IF NOT EXISTS idx_metrics_source ON metrics (source, created_at);
 
 CREATE TABLE IF NOT EXISTS bench_records (
     id          INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -161,6 +178,23 @@ class ResultsStore:
         # point at a db file that no driver has written yet.  executescript
         # manages its own transaction (it commits any open one first).
         self.connection().executescript(_SCHEMA)
+        self._migrate_columns()
+
+    def _migrate_columns(self) -> None:
+        """Add columns newer code expects to tables older stores created.
+
+        ``CREATE TABLE IF NOT EXISTS`` skips existing tables entirely, so a
+        db written by an earlier version needs guarded ``ALTER TABLE`` for
+        columns added since (SQLite has no ``ADD COLUMN IF NOT EXISTS``).
+        """
+        conn = self.connection()
+        existing = {row[1] for row in
+                    conn.execute("PRAGMA table_info(workers)").fetchall()}
+        for name, declaration in (("rows_done", "INTEGER NOT NULL DEFAULT 0"),
+                                  ("busy_seconds", "REAL NOT NULL DEFAULT 0")):
+            if name not in existing:
+                conn.execute(
+                    f"ALTER TABLE workers ADD COLUMN {name} {declaration}")
 
     # ------------------------------------------------------------------ #
     # connections                                                         #
@@ -408,18 +442,77 @@ class ResultsStore:
 
     def worker_heartbeat(self, worker_id: str, status: str,
                          current_job: int | None = None,
-                         jobs_done_delta: int = 0) -> None:
+                         jobs_done_delta: int = 0,
+                         rows_delta: int = 0,
+                         busy_seconds_delta: float = 0.0) -> None:
+        """Refresh one worker row; deltas accumulate throughput counters.
+
+        ``rows_delta`` is the number of design rows the worker evaluated
+        since its last heartbeat and ``busy_seconds_delta`` the wall time it
+        spent inside job execution -- together they give the dashboard a
+        rows-per-busy-second throughput figure per worker.
+        """
         with self.transaction() as conn:
             conn.execute(
                 """UPDATE workers SET status = ?, current_job = ?,
-                       n_jobs_done = n_jobs_done + ?, heartbeat_at = ?
+                       n_jobs_done = n_jobs_done + ?,
+                       rows_done = rows_done + ?,
+                       busy_seconds = busy_seconds + ?, heartbeat_at = ?
                    WHERE worker_id = ?""",
-                (status, current_job, int(jobs_done_delta), time.time(),
-                 worker_id))
+                (status, current_job, int(jobs_done_delta), int(rows_delta),
+                 float(busy_seconds_delta), time.time(), worker_id))
 
     def list_workers(self) -> list[dict]:
         return [dict(row) for row in self.connection().execute(
             "SELECT * FROM workers ORDER BY started_at, worker_id").fetchall()]
+
+    # ------------------------------------------------------------------ #
+    # telemetry metrics snapshots                                         #
+    # ------------------------------------------------------------------ #
+    def write_metrics_snapshot(self, study_id: str, batch_index: int,
+                               snapshot: dict, source: str = "driver") -> None:
+        """Upsert one process's registry snapshot for one batch.
+
+        ``source`` identifies the emitting process (``driver-<pid>`` or a
+        worker id); snapshots are *cumulative per source*, so the latest row
+        per source is that process's registry total and deployment totals
+        come from merging the latest row of every source (see
+        :meth:`latest_metrics_snapshots`).
+        """
+        with self.transaction() as conn:
+            conn.execute(
+                """INSERT INTO metrics
+                       (study_id, batch_index, source, payload, created_at)
+                   VALUES (?, ?, ?, ?, ?)
+                   ON CONFLICT (study_id, batch_index, source) DO UPDATE SET
+                       payload = excluded.payload,
+                       created_at = excluded.created_at""",
+                (study_id, int(batch_index), source, _dump(snapshot),
+                 time.time()))
+
+    def metrics_rows(self, study_id: str | None = None) -> list[dict]:
+        query = "SELECT * FROM metrics"
+        args: tuple = ()
+        if study_id is not None:
+            query += " WHERE study_id = ?"
+            args = (study_id,)
+        rows = self.connection().execute(
+            query + " ORDER BY study_id, batch_index, source", args).fetchall()
+        return [{**dict(row), "payload": json.loads(row["payload"])}
+                for row in rows]
+
+    def latest_metrics_snapshots(self) -> list[dict]:
+        """The most recent snapshot per source (the ``/api/metrics`` input)."""
+        rows = self.connection().execute(
+            """SELECT m.* FROM metrics m
+                 JOIN (SELECT source, MAX(created_at) AS latest
+                         FROM metrics GROUP BY source) newest
+                   ON m.source = newest.source
+                  AND m.created_at = newest.latest
+                GROUP BY m.source
+                ORDER BY m.source""").fetchall()
+        return [{**dict(row), "payload": json.loads(row["payload"])}
+                for row in rows]
 
     # ------------------------------------------------------------------ #
     # BENCH records                                                       #
@@ -499,6 +592,12 @@ class _StoreWriter:
             "evaluations": [evaluation_to_dict(e) for e in evaluations],
             "rng_state": rng_state(rng) if rng is not None else None,
         })
+
+    def write_metrics(self, index: int, snapshot: dict) -> None:
+        """Persist the driver's per-batch telemetry snapshot (see Study)."""
+        self.store.write_metrics_snapshot(
+            self.study_id, index, {**snapshot, "pid": os.getpid()},
+            source=f"driver-{os.getpid()}")
 
     def write_finish(self, n_simulations: int, stop_reason: str | None) -> None:
         self.store.set_study_status(self.study_id, "finished",

@@ -36,6 +36,7 @@ import uuid
 
 import numpy as np
 
+from repro import telemetry
 from repro.engine.cache import DesignCache
 from repro.engine.engine import _TaskFailure, evaluate_design_task
 from repro.service.queue import DEFAULT_LEASE_SECONDS, Job, WorkQueue
@@ -137,29 +138,54 @@ class Worker:
     # one job                                                             #
     # ------------------------------------------------------------------ #
     def process_job(self, job: Job) -> bool:
-        """Evaluate one claimed job; returns True if the completion landed."""
+        """Evaluate one claimed job; returns True if the completion landed.
+
+        Each heartbeat carries the job's wall time and evaluated row count
+        as deltas, so the dashboard's per-worker throughput stays fresh
+        without a second bookkeeping channel.
+        """
         self.store.worker_heartbeat(self.worker_id, "busy",
                                     current_job=job.job_id)
         stop_beat = threading.Event()
         beat = threading.Thread(target=self._heartbeat_loop,
                                 args=(job, stop_beat), daemon=True)
         beat.start()
+        started = time.perf_counter()
         try:
-            results = self._evaluate_payload(job.payload)
+            with telemetry.span("worker.job", job=job.job_id,
+                                study=job.study_id,
+                                batch=job.batch_index):
+                results = self._evaluate_payload(job.payload)
         except Exception as exc:  # noqa: BLE001 - job-level isolation
             stop_beat.set()
             beat.join()
             self.queue.fail(job.job_id, self.worker_id,
                             f"{type(exc).__name__}: {exc}\n"
                             f"{traceback.format_exc(limit=5)}")
-            self.store.worker_heartbeat(self.worker_id, "idle")
+            self.store.worker_heartbeat(
+                self.worker_id, "idle",
+                busy_seconds_delta=time.perf_counter() - started)
             return False
+        wall = time.perf_counter() - started
         stop_beat.set()
         beat.join()
         landed = self.queue.complete(job.job_id, self.worker_id, results)
         self.n_jobs_done += 1
         self.store.worker_heartbeat(self.worker_id, "idle",
-                                    jobs_done_delta=1)
+                                    jobs_done_delta=1,
+                                    rows_delta=len(results),
+                                    busy_seconds_delta=wall)
+        if telemetry.enabled():
+            telemetry.observe("repro_job_seconds", wall,
+                              telemetry.SECONDS_BUCKETS)
+            telemetry.inc("repro_jobs_done_total")
+            telemetry.inc("repro_rows_evaluated_total", len(results))
+            # pid rides along so /api/metrics can collapse sources sharing
+            # one process registry (e.g. --spawn-workers threads).
+            self.store.write_metrics_snapshot(
+                job.study_id, job.batch_index,
+                {**telemetry.snapshot(), "pid": os.getpid()},
+                source=self.worker_id)
         return landed
 
     def _heartbeat_loop(self, job: Job, stop: threading.Event) -> None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConvergenceError, NetlistError
 from repro.spice.mna import (
     HAVE_SCIPY_SPARSE,
@@ -32,6 +33,7 @@ from repro.spice.mna import (
     SparseBatchStamper,
 )
 from repro.spice.netlist import Circuit
+from repro.telemetry import SolveStats
 
 
 @dataclass
@@ -53,6 +55,11 @@ class OperatingPoint:
         Newton iterations used (summed across gmin steps).
     temperature:
         Analysis temperature in Celsius.
+    stats:
+        Optional :class:`~repro.telemetry.SolveStats` telemetry metadata.
+        Excluded from equality (``compare=False``) and from cache keys
+        (those hash only design parameter bytes), so it never perturbs
+        bit-identity contracts.
     """
 
     voltages: np.ndarray
@@ -61,6 +68,7 @@ class OperatingPoint:
     converged: bool = True
     iterations: int = 0
     temperature: float = 27.0
+    stats: SolveStats | None = field(default=None, compare=False, repr=False)
 
     def voltage(self, node: str) -> float:
         if node in ("0", "gnd", "vss"):
@@ -83,10 +91,22 @@ def _resolve_solver(size: int, solver: str) -> str:
 def _newton_solve(circuit: Circuit, start: np.ndarray, temperature: float,
                   gmin: float, max_iterations: int, tolerance: float,
                   damping: float, solver: str = "dense",
-                  ) -> tuple[np.ndarray, bool, int]:
-    """Damped Newton iteration at a fixed gmin level."""
+                  collect_residuals: bool = False,
+                  ) -> tuple[np.ndarray, bool, int, float, int, list | None]:
+    """Damped Newton iteration at a fixed gmin level.
+
+    Returns ``(voltages, converged, iterations, residual, clamps,
+    trajectory)``: ``residual`` is the last computed ``max|delta|`` (NaN if
+    the solve bailed before any update), ``clamps`` counts voltage steps
+    clipped by the damping limiter, and ``trajectory`` lists the
+    per-iteration residuals when ``collect_residuals`` is set (telemetry
+    only -- the extra list appends never run on a disabled hot path).
+    """
     voltages = start.copy()
     stamper = circuit.make_dc_stamper(solver)
+    residual = float("nan")
+    clamps = 0
+    trajectory: list | None = [] if collect_residuals else None
     for iteration in range(1, max_iterations + 1):
         circuit.stamp_dc(voltages, temperature, gmin=gmin, stamper=stamper)
         try:
@@ -97,16 +117,21 @@ def _newton_solve(circuit: Circuit, start: np.ndarray, temperature: float,
             except np.linalg.LinAlgError:
                 # lstsq's SVD can itself diverge on a non-finite system;
                 # bail out rather than poison the next gmin step's warm start.
-                return voltages, False, iteration
+                return voltages, False, iteration, residual, clamps, trajectory
         if not np.all(np.isfinite(new_voltages)):
-            return voltages, False, iteration
+            return voltages, False, iteration, residual, clamps, trajectory
         delta = new_voltages - voltages
+        abs_delta = np.abs(delta)
         # Limit the per-iteration voltage step (classic SPICE damping).
         step = np.clip(delta, -damping, damping)
         voltages = voltages + step
-        if np.max(np.abs(delta)) < tolerance:
-            return voltages, True, iteration
-    return voltages, False, max_iterations
+        residual = float(np.max(abs_delta))
+        clamps += int(np.count_nonzero(abs_delta > damping))
+        if trajectory is not None:
+            trajectory.append(residual)
+        if residual < tolerance:
+            return voltages, True, iteration, residual, clamps, trajectory
+    return voltages, False, max_iterations, residual, clamps, trajectory
 
 
 #: Fallback schedule for solves the standard settings cannot crack: a much
@@ -128,28 +153,45 @@ def _gmin_ladder(circuit: Circuit, start: np.ndarray, temperature: float,
                  gmin_steps: tuple[float, ...], max_iterations: int,
                  tolerance: float, damping: float,
                  max_failed_steps: int | None = None, solver: str = "dense",
-                 ) -> tuple[np.ndarray, bool, int]:
+                 collect_residuals: bool = False,
+                 ) -> tuple[np.ndarray, bool, int, dict]:
     """Run Newton down a gmin ladder, warm-starting each step.
 
     ``max_failed_steps`` aborts the ladder early once more than that many
     steps have failed to converge (``None`` never aborts -- the standard
     path's exact legacy semantics).
+
+    The ``info`` dict carries solve statistics: per-step iteration counts,
+    the final step's residual and gmin (what a failure message reports),
+    total damping clamps, and -- only when ``collect_residuals`` -- the
+    final step's residual trajectory.
     """
     voltages = start
     total_iterations = 0
     converged = False
     failed_steps = 0
+    iterations_per_gmin: list[int] = []
+    residual = float("nan")
+    last_gmin = 0.0
+    clamps = 0
+    trajectory: list | None = None
     for gmin in gmin_steps:
-        voltages, converged, used = _newton_solve(
-            circuit, voltages, temperature, gmin, max_iterations, tolerance,
-            damping, solver=solver)
+        voltages, converged, used, residual, step_clamps, trajectory = (
+            _newton_solve(circuit, voltages, temperature, gmin,
+                          max_iterations, tolerance, damping, solver=solver,
+                          collect_residuals=collect_residuals))
         total_iterations += used
+        iterations_per_gmin.append(used)
+        last_gmin = gmin
+        clamps += step_clamps
         if not converged:
             failed_steps += 1
             if (max_failed_steps is not None
                     and failed_steps > max_failed_steps):
                 break
-    return voltages, converged, total_iterations
+    info = {"iterations_per_gmin": iterations_per_gmin, "residual": residual,
+            "gmin": last_gmin, "clamps": clamps, "trajectory": trajectory}
+    return voltages, converged, total_iterations, info
 
 
 def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
@@ -189,21 +231,42 @@ def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
     if start.shape[0] != size:
         raise ValueError(f"initial_guess must have length {size}")
 
-    voltages, converged, total_iterations = _gmin_ladder(
-        circuit, start.copy(), temperature, tuple(gmin_steps),
-        max_iterations, tolerance, damping, solver=solver)
-    if not converged and rescue:
-        rescued, converged, used = _gmin_ladder(
-            circuit, start.copy(), temperature, _RESCUE_GMIN_STEPS,
-            _RESCUE_MAX_ITERATIONS, tolerance, _RESCUE_DAMPING,
-            max_failed_steps=_RESCUE_MAX_FAILED_STEPS, solver=solver)
-        total_iterations += used
-        if converged:
-            voltages = rescued
+    collect = telemetry.enabled()
+    with telemetry.span("spice.dc", circuit=circuit.title):
+        voltages, converged, total_iterations, info = _gmin_ladder(
+            circuit, start.copy(), temperature, tuple(gmin_steps),
+            max_iterations, tolerance, damping, solver=solver,
+            collect_residuals=collect)
+        iterations_per_gmin = list(info["iterations_per_gmin"])
+        clamps = info["clamps"]
+        rescue_entered = False
+        if not converged and rescue:
+            rescue_entered = True
+            rescued, converged, used, info = _gmin_ladder(
+                circuit, start.copy(), temperature, _RESCUE_GMIN_STEPS,
+                _RESCUE_MAX_ITERATIONS, tolerance, _RESCUE_DAMPING,
+                max_failed_steps=_RESCUE_MAX_FAILED_STEPS, solver=solver,
+                collect_residuals=collect)
+            total_iterations += used
+            iterations_per_gmin.extend(info["iterations_per_gmin"])
+            clamps += info["clamps"]
+            if converged:
+                voltages = rescued
+    # The failure detail reports the last ladder actually walked (the
+    # rescue ladder once entered) -- same on the batched path.
+    trajectory = info["trajectory"] if not converged else None
+    stats = SolveStats(
+        analysis="dc", converged=converged, iterations=total_iterations,
+        iterations_per_gmin=tuple(iterations_per_gmin),
+        gmin_steps=len(iterations_per_gmin), rescue_entered=rescue_entered,
+        damping_clamps=clamps, final_residual=info["residual"],
+        final_gmin=info["gmin"],
+        residual_trajectory=tuple(trajectory) if trajectory else ())
+    telemetry.record_solve(stats)
     if not converged and raise_on_failure:
         raise ConvergenceError(
-            f"DC analysis of {circuit.title!r} did not converge after "
-            f"{total_iterations} Newton iterations")
+            f"DC analysis of {circuit.title!r} did not converge "
+            f"{stats.failure_detail()}")
 
     node_voltages = {name: float(voltages[index])
                      for name, index in zip(circuit.nodes, range(circuit.n_nodes))}
@@ -211,7 +274,8 @@ def dc_operating_point(circuit: Circuit, temperature: float = 27.0,
                    for device in circuit.devices}
     return OperatingPoint(voltages=voltages, node_voltages=node_voltages,
                           device_info=device_info, converged=converged,
-                          iterations=total_iterations, temperature=temperature)
+                          iterations=total_iterations, temperature=temperature,
+                          stats=stats)
 
 
 # --------------------------------------------------------------------- #
@@ -265,6 +329,11 @@ class _BatchAssembler:
         self.size = self.n_nodes + self.n_branches
         self.temperatures = temperatures
         self.solver = solver
+        # Telemetry counters: convergence-mask occupancy (active rows per
+        # assembled iteration over the full batch) and sparse pattern reuse.
+        self.total_designs = len(circuits)
+        self.assemblies = 0
+        self.active_rows = 0
         self.columns = [tuple(circuit.devices[position] for circuit in circuits)
                         for position in range(len(first.devices))]
         self.contexts = [column[0].dc_batch_context(list(column), temperatures)
@@ -331,9 +400,23 @@ class _BatchAssembler:
             self._gather_cache[key] = cached
         return cached
 
+    @property
+    def occupancy(self) -> float:
+        """Mean fraction of the batch active per assembled iteration."""
+        if not self.assemblies:
+            return float("nan")
+        return self.active_rows / (self.assemblies * self.total_designs)
+
+    @property
+    def pattern_reuse_hits(self) -> int:
+        stamper = self._sparse_stamper
+        return stamper.pattern_reuse_hits if stamper is not None else 0
+
     def assemble(self, indices: np.ndarray, voltages: np.ndarray, gmin: float):
         """Stamp the active sub-batch ``indices`` at trial ``voltages``."""
         batch_size = len(indices)
+        self.assemblies += 1
+        self.active_rows += batch_size
         if self.solver == "sparse":
             # Reused like the dense stamper so the locked triplet pattern
             # (and its symbolic analysis) carries across Newton iterations.
@@ -397,18 +480,29 @@ def _solve_rows_individually(stamper, size: int) -> np.ndarray:
 def _newton_solve_batch(assembler: _BatchAssembler, voltages: np.ndarray,
                         indices: np.ndarray, gmin: float, max_iterations: int,
                         tolerance: float, damping: float,
-                        ) -> tuple[np.ndarray, np.ndarray]:
+                        collect_residuals: bool = False,
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray, list | None]:
     """Damped Newton on the designs ``indices`` at a fixed gmin level.
 
     Updates the full-batch ``voltages`` rows in place and returns
-    ``(converged, iterations)`` arrays aligned with ``indices``.  Designs
-    freeze the moment their serial counterpart would stop -- after applying
-    the final damped step on convergence, *before* applying anything on a
-    non-finite solution -- so warm starts for the next ladder step are
-    bit-identical to serial.
+    ``(converged, iterations, residual, clamps, trajectories)`` arrays
+    aligned with ``indices``.  Designs freeze the moment their serial
+    counterpart would stop -- after applying the final damped step on
+    convergence, *before* applying anything on a non-finite solution -- so
+    warm starts for the next ladder step are bit-identical to serial.
+
+    ``residual`` mirrors the serial solver's reporting exactly: it holds
+    each design's last finite-iteration ``max|delta|`` (NaN when a design
+    bailed before its first update), so failure messages built from it are
+    string-identical to the serial path's.
     """
     converged = np.zeros(len(indices), dtype=bool)
     iterations = np.zeros(len(indices), dtype=int)
+    residual = np.full(len(indices), np.nan)
+    clamps = np.zeros(len(indices), dtype=int)
+    trajectories: list | None = (
+        [[] for _ in range(len(indices))] if collect_residuals else None)
     alive = np.arange(len(indices))
     for iteration in range(1, max_iterations + 1):
         active = indices[alive]
@@ -421,52 +515,84 @@ def _newton_solve_batch(assembler: _BatchAssembler, voltages: np.ndarray,
         iterations[alive[~finite]] = iteration
         current = voltages[active]
         delta = new_voltages - current
+        abs_delta = np.abs(delta)
         step = np.clip(delta, -damping, damping)
+        row_residual = np.max(abs_delta, axis=1)
         # Rows with non-finite deltas compare False here and are already
         # excluded by ``finite``; NaNs propagate through max without noise.
-        below_tolerance = np.max(np.abs(delta), axis=1) < tolerance
+        below_tolerance = row_residual < tolerance
         updated = alive[finite]
+        # Serial never computes a delta on the bail-out iteration, so only
+        # finite rows refresh their reported residual and clamp count.
+        residual[updated] = row_residual[finite]
+        clamps[updated] += np.count_nonzero(abs_delta > damping,
+                                            axis=1)[finite]
+        if trajectories is not None:
+            for position, value in zip(updated, row_residual[finite]):
+                trajectories[position].append(float(value))
         voltages[indices[updated]] = (current + step)[finite]
         newly_converged = finite & below_tolerance
         converged[alive[newly_converged]] = True
         iterations[alive[newly_converged]] = iteration
         alive = alive[finite & ~below_tolerance]
         if alive.size == 0:
-            return converged, iterations
+            return converged, iterations, residual, clamps, trajectories
     iterations[alive] = max_iterations
-    return converged, iterations
+    return converged, iterations, residual, clamps, trajectories
 
 
 def _gmin_ladder_batch(assembler: _BatchAssembler, voltages: np.ndarray,
                        indices: np.ndarray, gmin_steps: tuple[float, ...],
                        max_iterations: int, tolerance: float, damping: float,
                        max_failed_steps: int | None = None,
-                       ) -> tuple[np.ndarray, np.ndarray]:
+                       collect_residuals: bool = False,
+                       ) -> tuple[np.ndarray, np.ndarray, dict]:
     """The serial gmin ladder over a batch of designs.
 
     Mirrors :func:`_gmin_ladder` per design: every design runs *every*
     ladder step (warm-started from its previous step) regardless of earlier
     convergence, ``converged`` reports the final step's outcome, and
     ``max_failed_steps`` retires designs whose failure count exceeds it.
+    The ``info`` dict carries the same per-design solve statistics as the
+    serial ladder's, as arrays/lists aligned with ``indices``.
     """
-    converged = np.zeros(len(indices), dtype=bool)
-    total_iterations = np.zeros(len(indices), dtype=int)
-    failed_steps = np.zeros(len(indices), dtype=int)
-    on_ladder = np.ones(len(indices), dtype=bool)
+    count = len(indices)
+    converged = np.zeros(count, dtype=bool)
+    total_iterations = np.zeros(count, dtype=int)
+    failed_steps = np.zeros(count, dtype=int)
+    on_ladder = np.ones(count, dtype=bool)
+    residual = np.full(count, np.nan)
+    final_gmin = np.zeros(count)
+    clamps = np.zeros(count, dtype=int)
+    iterations_per_gmin: list[list[int]] = [[] for _ in range(count)]
+    trajectories: list[tuple] = [() for _ in range(count)]
     for gmin in gmin_steps:
         positions = np.nonzero(on_ladder)[0]
         if positions.size == 0:
             break
-        step_converged, used = _newton_solve_batch(
-            assembler, voltages, indices[positions], gmin, max_iterations,
-            tolerance, damping)
+        step_converged, used, step_residual, step_clamps, step_traj = (
+            _newton_solve_batch(assembler, voltages, indices[positions], gmin,
+                                max_iterations, tolerance, damping,
+                                collect_residuals=collect_residuals))
         total_iterations[positions] += used
         converged[positions] = step_converged
+        # Failure reporting mirrors serial: the *last step a design ran*
+        # provides its residual and gmin level.
+        residual[positions] = step_residual
+        final_gmin[positions] = gmin
+        clamps[positions] += step_clamps
+        for offset, position in enumerate(positions):
+            iterations_per_gmin[position].append(int(used[offset]))
+            if step_traj is not None:
+                trajectories[position] = tuple(step_traj[offset])
         failed = positions[~step_converged]
         failed_steps[failed] += 1
         if max_failed_steps is not None:
             on_ladder[failed[failed_steps[failed] > max_failed_steps]] = False
-    return converged, total_iterations
+    info = {"residual": residual, "gmin": final_gmin, "clamps": clamps,
+            "iterations_per_gmin": iterations_per_gmin,
+            "trajectories": trajectories}
+    return converged, total_iterations, info
 
 
 def dc_operating_point_batch(circuits, temperature=27.0,
@@ -516,29 +642,73 @@ def dc_operating_point_batch(circuits, temperature=27.0,
     assembler = _BatchAssembler(circuits, temperatures, solver)
     indices = np.arange(batch_size)
     voltages = start.copy()
-    converged, total_iterations = _gmin_ladder_batch(
-        assembler, voltages, indices, tuple(gmin_steps), max_iterations,
-        tolerance, damping)
-    if rescue and not converged.all():
-        failed = indices[~converged]
-        # The rescue ladder restarts the failed designs from the original
-        # start, on a scratch copy: like the serial driver, a failed rescue
-        # leaves the standard ladder's best solution in place.
-        rescue_voltages = voltages.copy()
-        rescue_voltages[failed] = start[failed]
-        rescue_converged, used = _gmin_ladder_batch(
-            assembler, rescue_voltages, failed, _RESCUE_GMIN_STEPS,
-            _RESCUE_MAX_ITERATIONS, tolerance, _RESCUE_DAMPING,
-            max_failed_steps=_RESCUE_MAX_FAILED_STEPS)
-        total_iterations[failed] += used
-        rescued = failed[rescue_converged]
-        voltages[rescued] = rescue_voltages[rescued]
-        converged[rescued] = True
+    collect = telemetry.enabled()
+    rescue_mask = np.zeros(batch_size, dtype=bool)
+    with telemetry.span("spice.dc_batch", batch=batch_size,
+                        circuit=first.title):
+        converged, total_iterations, info = _gmin_ladder_batch(
+            assembler, voltages, indices, tuple(gmin_steps), max_iterations,
+            tolerance, damping, collect_residuals=collect)
+        if rescue and not converged.all():
+            failed = indices[~converged]
+            rescue_mask[failed] = True
+            # The rescue ladder restarts the failed designs from the original
+            # start, on a scratch copy: like the serial driver, a failed rescue
+            # leaves the standard ladder's best solution in place.
+            rescue_voltages = voltages.copy()
+            rescue_voltages[failed] = start[failed]
+            rescue_converged, used, rescue_info = _gmin_ladder_batch(
+                assembler, rescue_voltages, failed, _RESCUE_GMIN_STEPS,
+                _RESCUE_MAX_ITERATIONS, tolerance, _RESCUE_DAMPING,
+                max_failed_steps=_RESCUE_MAX_FAILED_STEPS,
+                collect_residuals=collect)
+            total_iterations[failed] += used
+            # The rescue ladder ran last for these designs, so it provides
+            # their reported residual/gmin -- exactly as on the serial path.
+            info["residual"][failed] = rescue_info["residual"]
+            info["gmin"][failed] = rescue_info["gmin"]
+            info["clamps"][failed] += rescue_info["clamps"]
+            for offset, b in enumerate(failed):
+                info["iterations_per_gmin"][b].extend(
+                    rescue_info["iterations_per_gmin"][offset])
+                if collect:
+                    info["trajectories"][b] = rescue_info["trajectories"][offset]
+            rescued = failed[rescue_converged]
+            voltages[rescued] = rescue_voltages[rescued]
+            converged[rescued] = True
+
+    occupancy = assembler.occupancy
+    reuse_hits = assembler.pattern_reuse_hits
+    per_design_stats = []
+    for b in range(batch_size):
+        trajectory = info["trajectories"][b] if not converged[b] else ()
+        per_design_stats.append(SolveStats(
+            analysis="dc", converged=bool(converged[b]),
+            iterations=int(total_iterations[b]),
+            iterations_per_gmin=tuple(info["iterations_per_gmin"][b]),
+            gmin_steps=len(info["iterations_per_gmin"][b]),
+            rescue_entered=bool(rescue_mask[b]),
+            damping_clamps=int(info["clamps"][b]),
+            final_residual=float(info["residual"][b]),
+            final_gmin=float(info["gmin"][b]),
+            residual_trajectory=tuple(trajectory),
+            batch_size=batch_size, batch_occupancy=occupancy,
+            pattern_reuse_hits=reuse_hits))
+    if telemetry.enabled():
+        for stats in per_design_stats:
+            telemetry.record_solve(stats)
+        if occupancy == occupancy:  # skip the no-assembly NaN
+            telemetry.observe("repro_batch_occupancy", occupancy,
+                              telemetry.FRACTION_BUCKETS)
+        telemetry.inc("repro_pattern_reuse_total", reuse_hits)
+
     if raise_on_failure and not converged.all():
-        titles = [circuits[i].title for i in indices[~converged]]
+        failures = indices[~converged]
+        titles = [circuits[i].title for i in failures]
         raise ConvergenceError(
             f"batched DC analysis: {len(titles)} of {batch_size} designs did "
-            f"not converge (first failure: {titles[0]!r})")
+            f"not converge (first failure: {titles[0]!r} "
+            f"{per_design_stats[failures[0]].failure_detail()})")
 
     results = []
     for b, circuit in enumerate(circuits):
@@ -552,5 +722,6 @@ def dc_operating_point_batch(circuits, temperature=27.0,
         results.append(OperatingPoint(
             voltages=solution, node_voltages=node_voltages,
             device_info=device_info, converged=bool(converged[b]),
-            iterations=int(total_iterations[b]), temperature=celsius))
+            iterations=int(total_iterations[b]), temperature=celsius,
+            stats=per_design_stats[b]))
     return results

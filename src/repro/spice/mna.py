@@ -461,6 +461,9 @@ class SparseBatchStamper(_StampOps):
         self._pattern_cache = None
         self._reduced_cache = None
         self._shared_cache = None
+        #: Restamps served by the locked pattern (telemetry; the symbolic
+        #: analysis and triplet buffers were reused instead of rebuilt).
+        self.pattern_reuse_hits = 0
 
     @property
     def size(self) -> int:
@@ -483,6 +486,7 @@ class SparseBatchStamper(_StampOps):
             self._locked = True
         if self._locked:
             self._values[...] = 0.0
+            self.pattern_reuse_hits += 1
         self.rhs[...] = 0
         self._cursor = 0
         self._reduced_cache = None

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.spice.ac import _AC_GMIN, logspace_frequencies
 from repro.spice.dc import OperatingPoint
 from repro.spice.devices.base import NoiseSource
@@ -179,23 +180,29 @@ def noise_analysis(circuit: Circuit, operating_point: OperatingPoint,
     sources = _gather_sources(circuit, operating_point)
 
     affine = all(device.ac_affine for device in circuit.devices)
-    if method == "vectorized":
-        if not affine:
-            non_affine = [d.name for d in circuit.devices if not d.ac_affine]
-            raise ValueError("method='vectorized' requires affine AC stamps; "
-                             f"non-affine devices: {non_affine}")
-        adjoints, rhs = _adjoint_vectorized(circuit, operating_point,
-                                            frequencies, out_index)
-    elif method == "auto" and affine:
-        try:
+    with telemetry.span("spice.noise", circuit=circuit.title,
+                        frequencies=int(frequencies.size)):
+        if method == "vectorized":
+            if not affine:
+                non_affine = [d.name for d in circuit.devices
+                              if not d.ac_affine]
+                raise ValueError(
+                    "method='vectorized' requires affine AC stamps; "
+                    f"non-affine devices: {non_affine}")
             adjoints, rhs = _adjoint_vectorized(circuit, operating_point,
                                                 frequencies, out_index)
-        except np.linalg.LinAlgError:
+        elif method == "auto" and affine:
+            try:
+                adjoints, rhs = _adjoint_vectorized(circuit, operating_point,
+                                                    frequencies, out_index)
+            except np.linalg.LinAlgError:
+                adjoints, rhs = _adjoint_per_frequency(
+                    circuit, operating_point, frequencies, out_index)
+        else:
             adjoints, rhs = _adjoint_per_frequency(circuit, operating_point,
                                                    frequencies, out_index)
-    else:
-        adjoints, rhs = _adjoint_per_frequency(circuit, operating_point,
-                                               frequencies, out_index)
+    telemetry.inc("repro_noise_analyses_total")
+    telemetry.observe("repro_noise_sources", len(sources))
     return _assemble_result(frequencies, output, sources, adjoints, rhs)
 
 

@@ -35,10 +35,11 @@ results are bit-identical to serial runs of each design alone.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConvergenceError
 from repro.spice.dc import (
     OperatingPoint,
@@ -49,6 +50,7 @@ from repro.spice.dc import (
 )
 from repro.spice.mna import BatchStamper, SparseBatchStamper
 from repro.spice.netlist import Circuit
+from repro.telemetry import SolveStats
 
 #: Tiny conductance to ground keeping otherwise-floating nodes solvable.
 _TRANSIENT_GMIN = 1e-12
@@ -70,6 +72,9 @@ class TransientResult:
         and Newton failures).
     n_newton_iterations:
         Total Newton iterations across all attempted steps.
+    stats:
+        Optional :class:`~repro.telemetry.SolveStats` telemetry metadata;
+        excluded from equality and from every bit-identity comparison.
     """
 
     times: np.ndarray
@@ -77,6 +82,7 @@ class TransientResult:
     n_accepted: int = 0
     n_rejected: int = 0
     n_newton_iterations: int = 0
+    stats: SolveStats | None = field(default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------------ #
     # accessors                                                           #
@@ -189,9 +195,16 @@ def _newton_transient(circuit: Circuit, states: dict[str, dict],
                       start: np.ndarray, time: float, dt: float, method: str,
                       temperature: float, gmin: float, max_iterations: int,
                       tolerance: float, damping: float,
-                      stamper=None) -> tuple[np.ndarray, bool, int]:
-    """Damped Newton iteration for one timestep (warm-started)."""
+                      stamper=None) -> tuple[np.ndarray, bool, int, float]:
+    """Damped Newton iteration for one timestep (warm-started).
+
+    The returned residual is the last finite iteration's ``max|delta|``
+    (NaN if the solve bailed before any update) -- it feeds the enriched
+    failure messages and must stay bit-identical to the batched path's
+    per-design residual tracking.
+    """
     voltages = start.copy()
+    residual = float("nan")
     for iteration in range(1, max_iterations + 1):
         stamper = circuit.stamp_transient(voltages, states, time, dt, method,
                                           temperature, gmin=gmin,
@@ -201,12 +214,13 @@ def _newton_transient(circuit: Circuit, states: dict[str, dict],
         except np.linalg.LinAlgError:
             new_voltages = stamper.solve_lstsq()
         if not np.all(np.isfinite(new_voltages)):
-            return voltages, False, iteration
+            return voltages, False, iteration, residual
         delta = new_voltages - voltages
         voltages = voltages + np.clip(delta, -damping, damping)
-        if np.max(np.abs(delta)) < tolerance:
-            return voltages, True, iteration
-    return voltages, False, max_iterations
+        residual = float(np.max(np.abs(delta)))
+        if residual < tolerance:
+            return voltages, True, iteration, residual
+    return voltages, False, max_iterations, residual
 
 
 def _divided_difference(times: list[float], values: list[np.ndarray]) -> np.ndarray:
@@ -260,6 +274,22 @@ def transient_operating_point(circuit: Circuit, temperature: float = 27.0,
     finally:
         for device, dc in overridden:
             device.dc = dc
+
+
+def _initial_condition_message(title: str, operating_point: OperatingPoint,
+                               ) -> str:
+    """The (enriched) failed-initial-condition message, serial == batched.
+
+    Both paths receive operating points whose :class:`SolveStats` hold
+    bit-identical residual/gmin/iteration values (the DC batch contract),
+    so the formatted detail is string-identical; an externally built
+    operating point without stats keeps the bare legacy message.
+    """
+    message = f"transient initial condition of {title!r} did not converge"
+    stats = getattr(operating_point, "stats", None)
+    if stats is not None:
+        message = f"{message} {stats.failure_detail()}"
+    return message
 
 
 def transient_analysis(circuit: Circuit, t_stop: float,
@@ -337,8 +367,8 @@ def transient_analysis(circuit: Circuit, t_stop: float,
     if operating_point is None:
         operating_point = transient_operating_point(circuit, temperature)
     if not operating_point.converged:
-        raise ConvergenceError(
-            f"transient initial condition of {circuit.title!r} did not converge")
+        raise ConvergenceError(_initial_condition_message(circuit.title,
+                                                          operating_point))
 
     states = circuit.init_transient_states(operating_point, temperature)
     n_nodes = circuit.n_nodes
@@ -359,84 +389,113 @@ def transient_analysis(circuit: Circuit, t_stop: float,
     next_break = 0
     dt = min(dt_initial, dt_max, breakpoints[0])
     n_accepted = n_rejected = n_newton = 0
+    residual = float("nan")
+    dt_smallest = float("inf")
+    dt_largest = 0.0
 
-    while t < t_stop - eps:
-        if n_accepted + n_rejected >= max_steps:
-            raise ConvergenceError(
-                f"transient analysis of {circuit.title!r} exceeded "
-                f"{max_steps} steps at t={t:.3e}s")
-        while breakpoints[next_break] <= t + eps:
-            next_break += 1
-        dt = min(dt, dt_max, t_stop - t)
-        hit_break = t + dt >= breakpoints[next_break] - eps
-        if hit_break:
-            dt = breakpoints[next_break] - t
-        # Backward Euler until three accepted points exist past the last
-        # breakpoint, trapezoidal afterwards.
-        method = "be" if len(history) < 3 else "trap"
-        t_new = t + dt
+    def _fail(message: str) -> ConvergenceError:
+        """Record the failed solve in the registry, then build the error."""
+        if telemetry.enabled():
+            telemetry.record_solve(SolveStats(
+                analysis="transient", converged=False, iterations=n_newton,
+                n_accepted=n_accepted, n_rejected=n_rejected,
+                final_residual=residual, final_gmin=_TRANSIENT_GMIN))
+        return ConvergenceError(message)
 
-        new_solution, converged, iterations = _newton_transient(
-            circuit, states, solution, t_new, dt, method, temperature,
-            _TRANSIENT_GMIN, max_newton_iterations, newton_tolerance, damping,
-            stamper=stamper)
-        n_newton += iterations
-        if not converged:
-            n_rejected += 1
-            dt *= 0.25
-            if dt < dt_min:
-                raise ConvergenceError(
-                    f"transient Newton iteration of {circuit.title!r} failed "
-                    f"at t={t_new:.3e}s with dt={dt:.3e}s")
-            continue
+    span = telemetry.span("spice.transient", circuit=circuit.title)
+    with span:
+        while t < t_stop - eps:
+            if n_accepted + n_rejected >= max_steps:
+                raise _fail(
+                    f"transient analysis of {circuit.title!r} exceeded "
+                    f"{max_steps} steps at t={t:.3e}s "
+                    f"({n_accepted} accepted, {n_rejected} rejected)")
+            while breakpoints[next_break] <= t + eps:
+                next_break += 1
+            dt = min(dt, dt_max, t_stop - t)
+            hit_break = t + dt >= breakpoints[next_break] - eps
+            if hit_break:
+                dt = breakpoints[next_break] - t
+            # Backward Euler until three accepted points exist past the last
+            # breakpoint, trapezoidal afterwards.
+            method = "be" if len(history) < 3 else "trap"
+            t_new = t + dt
 
-        # Local-truncation-error estimate from divided differences of the
-        # accepted history plus the candidate point.  BE error ~ (dt^2/2) v''
-        # with v'' ~ 2*DD2; trapezoidal error ~ (dt^3/12) v''' with
-        # v''' ~ 6*DD3.
-        error_ratio = None
-        if len(history) >= 2:
-            order = 3 if method == "trap" else 2
-            sample = history[-order:] + [(t_new, new_solution)]
-            dd = _divided_difference([s[0] for s in sample],
-                                     [s[1][:n_nodes] for s in sample])
-            lte = (0.5 * dt**3 * np.abs(dd) if method == "trap"
-                   else dt**2 * np.abs(dd))
-            tolerance = (reltol * np.maximum(np.abs(new_solution[:n_nodes]),
-                                             np.abs(solution[:n_nodes]))
-                         + abstol)
-            error_ratio = float(np.max(lte / tolerance))
-            if error_ratio > 1.0:
+            new_solution, converged, iterations, residual = _newton_transient(
+                circuit, states, solution, t_new, dt, method, temperature,
+                _TRANSIENT_GMIN, max_newton_iterations, newton_tolerance,
+                damping, stamper=stamper)
+            n_newton += iterations
+            if not converged:
                 n_rejected += 1
-                dt *= max(0.1, 0.9 * error_ratio ** (-1.0 / order))
+                dt *= 0.25
                 if dt < dt_min:
-                    raise ConvergenceError(
-                        f"transient timestep of {circuit.title!r} underflowed "
-                        f"at t={t_new:.3e}s (LTE never satisfied)")
+                    raise _fail(
+                        f"transient Newton iteration of {circuit.title!r} "
+                        f"failed at t={t_new:.3e}s with dt={dt:.3e}s after "
+                        f"{iterations} iterations (residual={residual:.3e})")
                 continue
 
-        circuit.commit_transient(new_solution, states, dt, temperature)
-        t = t_new
-        solution = new_solution
-        n_accepted += 1
-        times.append(t)
-        solutions.append(solution.copy())
-        history.append((t, solution.copy()))
-        if len(history) > 3:
-            history.pop(0)
+            # Local-truncation-error estimate from divided differences of the
+            # accepted history plus the candidate point.  BE error ~
+            # (dt^2/2) v'' with v'' ~ 2*DD2; trapezoidal error ~ (dt^3/12)
+            # v''' with v''' ~ 6*DD3.
+            error_ratio = None
+            if len(history) >= 2:
+                order = 3 if method == "trap" else 2
+                sample = history[-order:] + [(t_new, new_solution)]
+                dd = _divided_difference([s[0] for s in sample],
+                                         [s[1][:n_nodes] for s in sample])
+                lte = (0.5 * dt**3 * np.abs(dd) if method == "trap"
+                       else dt**2 * np.abs(dd))
+                tolerance = (reltol * np.maximum(
+                    np.abs(new_solution[:n_nodes]),
+                    np.abs(solution[:n_nodes])) + abstol)
+                error_ratio = float(np.max(lte / tolerance))
+                if error_ratio > 1.0:
+                    n_rejected += 1
+                    dt *= max(0.1, 0.9 * error_ratio ** (-1.0 / order))
+                    if dt < dt_min:
+                        raise _fail(
+                            f"transient timestep of {circuit.title!r} "
+                            f"underflowed at t={t_new:.3e}s (LTE never "
+                            f"satisfied) ({n_accepted} accepted, "
+                            f"{n_rejected} rejected)")
+                    continue
 
-        if hit_break:
-            # Restart integration behind the corner: BE, small steps, and an
-            # LTE history that does not bridge the discontinuity.
-            history = [(t, solution.copy())]
-            dt = min(dt_initial, dt_max)
-        elif error_ratio is None:
-            dt = min(dt * 2.0, dt_max)
-        else:
-            order = 3 if method == "trap" else 2
-            factor = 0.9 * max(error_ratio, 1e-10) ** (-1.0 / order)
-            dt = min(dt * min(2.0, max(0.3, factor)), dt_max)
+            circuit.commit_transient(new_solution, states, dt, temperature)
+            if dt < dt_smallest:
+                dt_smallest = dt
+            if dt > dt_largest:
+                dt_largest = dt
+            t = t_new
+            solution = new_solution
+            n_accepted += 1
+            times.append(t)
+            solutions.append(solution.copy())
+            history.append((t, solution.copy()))
+            if len(history) > 3:
+                history.pop(0)
 
+            if hit_break:
+                # Restart integration behind the corner: BE, small steps, and
+                # an LTE history that does not bridge the discontinuity.
+                history = [(t, solution.copy())]
+                dt = min(dt_initial, dt_max)
+            elif error_ratio is None:
+                dt = min(dt * 2.0, dt_max)
+            else:
+                order = 3 if method == "trap" else 2
+                factor = 0.9 * max(error_ratio, 1e-10) ** (-1.0 / order)
+                dt = min(dt * min(2.0, max(0.3, factor)), dt_max)
+
+    stats = SolveStats(
+        analysis="transient", converged=True, iterations=n_newton,
+        n_accepted=n_accepted, n_rejected=n_rejected,
+        final_residual=residual, final_gmin=_TRANSIENT_GMIN,
+        dt_min=dt_smallest if n_accepted else float("nan"),
+        dt_max=dt_largest if n_accepted else float("nan"))
+    telemetry.record_solve(stats)
     times_array = np.array(times)
     stacked = np.stack(solutions, axis=0)
     responses: dict[str, np.ndarray] = {}
@@ -446,7 +505,7 @@ def transient_analysis(circuit: Circuit, t_stop: float,
                            else stacked[:, index].copy())
     return TransientResult(times=times_array, node_voltages=responses,
                            n_accepted=n_accepted, n_rejected=n_rejected,
-                           n_newton_iterations=n_newton)
+                           n_newton_iterations=n_newton, stats=stats)
 
 
 # --------------------------------------------------------------------- #
@@ -504,6 +563,10 @@ class _TranBatchAssembler:
         self.temperatures = temperatures
         self.solver = solver
         self.shared_symbolic = shared_symbolic
+        # Telemetry counters, mirroring the DC assembler's.
+        self.total_designs = len(circuits)
+        self.assemblies = 0
+        self.active_rows = 0
         self.columns = [tuple(circuit.devices[position] for circuit in circuits)
                         for position in range(len(first.devices))]
         self.contexts = [column[0].transient_batch_context(list(column),
@@ -542,10 +605,24 @@ class _TranBatchAssembler:
             self._gather_cache[key] = cached
         return cached
 
+    @property
+    def occupancy(self) -> float:
+        """Mean fraction of the batch in flight per assembled iteration."""
+        if not self.assemblies:
+            return float("nan")
+        return self.active_rows / (self.assemblies * self.total_designs)
+
+    @property
+    def pattern_reuse_hits(self) -> int:
+        stamper = self._sparse_stamper
+        return stamper.pattern_reuse_hits if stamper is not None else 0
+
     def assemble(self, indices: np.ndarray, voltages: np.ndarray,
                  times: np.ndarray, dts: np.ndarray, trap: np.ndarray):
         """Stamp the in-flight designs ``indices`` at their Newton iterates."""
         batch_size = len(indices)
+        self.assemblies += 1
+        self.active_rows += batch_size
         if self.solver == "sparse":
             stamper = self._sparse_stamper
             if stamper is None or stamper.batch_size != batch_size:
@@ -604,7 +681,8 @@ class _TranDesign:
                  "solution", "times", "solutions", "history", "breakpoints",
                  "next_break", "n_accepted", "n_rejected", "n_newton",
                  "t_new", "method", "hit_break", "iterate",
-                 "attempt_iterations", "finished", "error")
+                 "attempt_iterations", "attempt_residual", "dt_smallest",
+                 "dt_largest", "finished", "error")
 
     def __init__(self, index: int, circuit: Circuit, temperature: float):
         self.index = index
@@ -627,6 +705,9 @@ class _TranDesign:
         self.hit_break = False
         self.iterate: np.ndarray | None = None
         self.attempt_iterations = 0
+        self.attempt_residual = float("nan")
+        self.dt_smallest = float("inf")
+        self.dt_largest = 0.0
         self.finished = False
         self.error: Exception | None = None
 
@@ -746,8 +827,7 @@ def transient_analysis_batch(circuits, t_stop: float,
     for d, op in zip(designs, operating_points):
         if not op.converged:
             d.error = ConvergenceError(
-                f"transient initial condition of {d.circuit.title!r} "
-                f"did not converge")
+                _initial_condition_message(d.circuit.title, op))
             continue
         d.states = d.circuit.init_transient_states(op, d.temperature)
         states_by_design[d.index] = d.states
@@ -765,7 +845,8 @@ def transient_analysis_batch(circuits, t_stop: float,
         if d.n_accepted + d.n_rejected >= max_steps:
             d.error = ConvergenceError(
                 f"transient analysis of {d.circuit.title!r} exceeded "
-                f"{max_steps} steps at t={d.t:.3e}s")
+                f"{max_steps} steps at t={d.t:.3e}s "
+                f"({d.n_accepted} accepted, {d.n_rejected} rejected)")
             return
         while d.breakpoints[d.next_break] <= d.t + eps:
             d.next_break += 1
@@ -783,6 +864,7 @@ def transient_analysis_batch(circuits, t_stop: float,
             state["method"] = d.method
         d.iterate = d.solution.copy()
         d.attempt_iterations = 0
+        d.attempt_residual = float("nan")
 
     def _finish_attempt(d: _TranDesign, converged: bool) -> None:
         """The serial post-Newton controller for one design's attempt."""
@@ -793,7 +875,9 @@ def transient_analysis_batch(circuits, t_stop: float,
             if d.dt < dt_min:
                 d.error = ConvergenceError(
                     f"transient Newton iteration of {d.circuit.title!r} "
-                    f"failed at t={d.t_new:.3e}s with dt={d.dt:.3e}s")
+                    f"failed at t={d.t_new:.3e}s with dt={d.dt:.3e}s after "
+                    f"{d.attempt_iterations} iterations "
+                    f"(residual={d.attempt_residual:.3e})")
                 return
             _begin_attempt(d)
             return
@@ -816,13 +900,18 @@ def transient_analysis_batch(circuits, t_stop: float,
                     d.error = ConvergenceError(
                         f"transient timestep of {d.circuit.title!r} "
                         f"underflowed at t={d.t_new:.3e}s (LTE never "
-                        f"satisfied)")
+                        f"satisfied) ({d.n_accepted} accepted, "
+                        f"{d.n_rejected} rejected)")
                     return
                 _begin_attempt(d)
                 return
 
         d.circuit.commit_transient(new_solution, d.states, d.dt,
                                    d.temperature)
+        if d.dt < d.dt_smallest:
+            d.dt_smallest = d.dt
+        if d.dt > d.dt_largest:
+            d.dt_largest = d.dt
         d.t = d.t_new
         d.solution = new_solution
         d.n_accepted += 1
@@ -852,48 +941,78 @@ def transient_analysis_batch(circuits, t_stop: float,
             _begin_attempt(d)
     active = [d for d in designs if d.error is None and not d.finished]
 
-    while active:
-        indices = np.array([d.index for d in active])
-        voltages = np.stack([d.iterate for d in active])
-        times = np.array([d.t_new for d in active])
-        dts = np.array([d.dt for d in active])
-        trap = np.array([d.method == "trap" for d in active])
-        stamper = assembler.assemble(indices, voltages, times, dts, trap)
-        solve_errors: list = [None] * len(active)
-        try:
-            new_voltages = stamper.solve()
-        except np.linalg.LinAlgError:
-            new_voltages = _solve_rows_transient(stamper, assembler.size,
-                                                 solve_errors)
-        finite = np.isfinite(new_voltages).all(axis=1)
-        delta = new_voltages - voltages
-        step = np.clip(delta, -damping, damping)
-        still_active = []
-        for i, d in enumerate(active):
-            d.attempt_iterations += 1
-            d.n_newton += 1
-            if solve_errors[i] is not None:
-                d.error = solve_errors[i]
-            elif not finite[i]:
-                # Serial bails without applying the update.
-                _finish_attempt(d, False)
-            else:
-                d.iterate = voltages[i] + step[i]
-                if float(np.max(np.abs(delta[i]))) < newton_tolerance:
-                    _finish_attempt(d, True)
-                elif d.attempt_iterations >= max_newton_iterations:
+    with telemetry.span("spice.transient_batch", batch=batch_size,
+                        circuit=first.title):
+        while active:
+            indices = np.array([d.index for d in active])
+            voltages = np.stack([d.iterate for d in active])
+            times = np.array([d.t_new for d in active])
+            dts = np.array([d.dt for d in active])
+            trap = np.array([d.method == "trap" for d in active])
+            stamper = assembler.assemble(indices, voltages, times, dts, trap)
+            solve_errors: list = [None] * len(active)
+            try:
+                new_voltages = stamper.solve()
+            except np.linalg.LinAlgError:
+                new_voltages = _solve_rows_transient(stamper, assembler.size,
+                                                     solve_errors)
+            finite = np.isfinite(new_voltages).all(axis=1)
+            delta = new_voltages - voltages
+            step = np.clip(delta, -damping, damping)
+            still_active = []
+            for i, d in enumerate(active):
+                d.attempt_iterations += 1
+                d.n_newton += 1
+                if solve_errors[i] is not None:
+                    d.error = solve_errors[i]
+                elif not finite[i]:
+                    # Serial bails without applying the update (and without
+                    # refreshing the attempt residual).
                     _finish_attempt(d, False)
-            if d.error is None and not d.finished:
-                still_active.append(d)
-        active = still_active
+                else:
+                    d.iterate = voltages[i] + step[i]
+                    d.attempt_residual = float(np.max(np.abs(delta[i])))
+                    if d.attempt_residual < newton_tolerance:
+                        _finish_attempt(d, True)
+                    elif d.attempt_iterations >= max_newton_iterations:
+                        _finish_attempt(d, False)
+                if d.error is None and not d.finished:
+                    still_active.append(d)
+            active = still_active
 
+    occupancy = assembler.occupancy
+    reuse_hits = assembler.pattern_reuse_hits
+    record = telemetry.enabled()
+    if record:
+        if occupancy == occupancy:  # skip the no-assembly NaN
+            telemetry.observe("repro_batch_occupancy", occupancy,
+                              telemetry.FRACTION_BUCKETS)
+        telemetry.inc("repro_pattern_reuse_total", reuse_hits)
     outcomes: list = []
     for d in designs:
         if d.error is not None:
+            if record:
+                telemetry.record_solve(SolveStats(
+                    analysis="transient", converged=False,
+                    iterations=d.n_newton, n_accepted=d.n_accepted,
+                    n_rejected=d.n_rejected,
+                    final_residual=d.attempt_residual,
+                    final_gmin=_TRANSIENT_GMIN, batch_size=batch_size,
+                    batch_occupancy=occupancy))
             if not return_errors:
                 raise d.error
             outcomes.append(d.error)
             continue
+        stats = SolveStats(
+            analysis="transient", converged=True, iterations=d.n_newton,
+            n_accepted=d.n_accepted, n_rejected=d.n_rejected,
+            final_residual=d.attempt_residual, final_gmin=_TRANSIENT_GMIN,
+            dt_min=d.dt_smallest if d.n_accepted else float("nan"),
+            dt_max=d.dt_largest if d.n_accepted else float("nan"),
+            batch_size=batch_size, batch_occupancy=occupancy,
+            pattern_reuse_hits=reuse_hits)
+        if record:
+            telemetry.record_solve(stats)
         times_array = np.array(d.times)
         stacked = np.stack(d.solutions, axis=0)
         responses: dict[str, np.ndarray] = {}
@@ -904,5 +1023,5 @@ def transient_analysis_batch(circuits, t_stop: float,
         outcomes.append(TransientResult(
             times=times_array, node_voltages=responses,
             n_accepted=d.n_accepted, n_rejected=d.n_rejected,
-            n_newton_iterations=d.n_newton))
+            n_newton_iterations=d.n_newton, stats=stats))
     return outcomes

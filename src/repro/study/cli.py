@@ -28,6 +28,12 @@ store instead of JSONL (add ``--distributed`` to dispatch evaluations
 through the store's work queue).  Progress goes to stderr (``--quiet``
 silences it); structured results go to stdout or the ``--output`` file,
 one JSON object per line.
+
+``run``/``resume``/``worker`` accept ``--telemetry`` (equivalent to setting
+``REPRO_TELEMETRY=1``) to capture solver spans and metrics; ``run``/
+``resume`` additionally take ``--trace PATH`` to export the captured spans
+as a Perfetto-compatible JSON trace, and print a metrics report to stderr
+on exit unless ``--quiet``.
 """
 
 from __future__ import annotations
@@ -88,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--idle-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="exit after this long with an empty queue")
+    _add_telemetry_options(worker)
     _add_import_option(worker)
 
     dashboard = commands.add_parser(
@@ -148,6 +155,41 @@ def _add_run_output_options(subparser: argparse.ArgumentParser) -> None:
                            help="result JSONL file ('-' for stdout)")
     subparser.add_argument("--quiet", action="store_true",
                            help="suppress progress logging on stderr")
+    _add_telemetry_options(subparser, trace=True)
+
+
+def _add_telemetry_options(subparser: argparse.ArgumentParser,
+                           trace: bool = False) -> None:
+    group = subparser.add_argument_group(
+        "telemetry", "solver-to-service instrumentation; also enabled by "
+                     "the REPRO_TELEMETRY environment variable")
+    group.add_argument("--telemetry", action="store_true",
+                       help="capture solver spans and metrics "
+                            "(zero overhead when off)")
+    if trace:
+        group.add_argument("--trace", metavar="PATH",
+                           help="export captured spans as a Perfetto JSON "
+                                "trace on exit (implies --telemetry)")
+
+
+def _apply_telemetry(args) -> None:
+    """Enable telemetry before any pools or workers spawn (env inherits)."""
+    if getattr(args, "telemetry", False) or getattr(args, "trace", None):
+        from repro import telemetry
+        telemetry.enable()
+
+
+def _finish_telemetry(args, quiet: bool) -> None:
+    from repro import telemetry
+    if not telemetry.enabled():
+        return
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        n_spans = telemetry.export_trace(trace_path)
+        print(f"telemetry trace: {n_spans} spans -> {trace_path}",
+              file=sys.stderr)
+    if not quiet:
+        print(telemetry.report(), file=sys.stderr)
 
 
 def _add_import_option(subparser: argparse.ArgumentParser) -> None:
@@ -266,6 +308,7 @@ def _check_service_args(args, parser_hint: str) -> str | None:
 
 def _command_run(args) -> int:
     _apply_imports(args)
+    _apply_telemetry(args)
     db = _check_service_args(args, "run --help")
     from repro.study.spec import StudySpec
     spec = _apply_overrides(StudySpec.from_file(args.spec), args)
@@ -281,6 +324,7 @@ def _command_run(args) -> int:
         outcome = _service_run(args, spec, db)
     _emit_results([result.to_record() for result in outcome["results"]],
                   args.output)
+    _finish_telemetry(args, args.quiet)
     return 0
 
 
@@ -299,6 +343,7 @@ def _service_run(args, spec, db: str) -> dict:
 
 def _command_resume(args) -> int:
     _apply_imports(args)
+    _apply_telemetry(args)
     db = _check_service_args(args, "resume --help")
     if db is None:
         from repro.study.study import Study
@@ -313,6 +358,7 @@ def _command_resume(args) -> int:
                 distributed=_distributed(args), shard_size=args.shard_size,
                 **_lease_kwargs(args))
     _emit_results([result.to_record()], args.output)
+    _finish_telemetry(args, args.quiet)
     return 0
 
 
@@ -335,6 +381,7 @@ def _spawned_workers(args, db: str):
 
 def _command_worker(args) -> int:
     _apply_imports(args)
+    _apply_telemetry(args)
     from repro.service.queue import DEFAULT_LEASE_SECONDS
     from repro.service.worker import run_worker
     n_done = run_worker(args.db, worker_id=args.worker_id,

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.bo.history import OptimizationHistory
 from repro.errors import OptimizationError
 from repro.study.callbacks import CallbackList, StudyCallback
@@ -175,6 +176,21 @@ class Study:
         if self._stop_reason is None:
             self._stop_reason = reason
 
+    @staticmethod
+    def _write_metrics(writer, iteration: int) -> None:
+        """Persist a per-batch telemetry snapshot on capable backends.
+
+        Duck-typed: only checkpoint writers exposing ``write_metrics``
+        (the SQLite store's) persist snapshots, and only when telemetry is
+        enabled -- JSONL checkpoints stay bit-identical with and without
+        instrumentation.
+        """
+        if writer is None or not telemetry.enabled():
+            return
+        write_metrics = getattr(writer, "write_metrics", None)
+        if write_metrics is not None:
+            write_metrics(iteration, telemetry.snapshot())
+
     # ------------------------------------------------------------------ #
     # construction helpers                                                #
     # ------------------------------------------------------------------ #
@@ -266,16 +282,20 @@ class Study:
             if writer is not None and len(optimizer.history) > covered:
                 writer.write_batch(0, "init", optimizer.history.evaluations,
                                    n_total=len(optimizer.history), rng=optimizer.rng)
+            self._write_metrics(writer, 0)
             self.callbacks.on_init(self, list(optimizer.history.evaluations))
 
             while (len(optimizer.history) < spec.n_simulations
                    and self._stop_reason is None):
-                evaluations = optimizer.step()
+                with telemetry.span("study.batch", study=self.label,
+                                    iteration=iteration + 1):
+                    evaluations = optimizer.step()
                 iteration += 1
                 if writer is not None and len(optimizer.history) > covered:
                     writer.write_batch(iteration, "step", evaluations,
                                        n_total=len(optimizer.history),
                                        rng=optimizer.rng)
+                self._write_metrics(writer, iteration)
                 self.callbacks.on_batch(self, iteration, evaluations)
 
             result = StudyResult(

@@ -1,0 +1,178 @@
+"""Process-local metrics registry: counters and fixed-bucket histograms.
+
+The registry is the aggregation point of the telemetry layer: solver,
+engine, study and service code increment named counters and observe
+histogram samples; snapshots of the whole registry travel as plain JSON
+dicts (to the service ``metrics`` table, across worker processes, and out
+of the ``/api/metrics`` endpoint) and merge by simple addition.
+
+Everything here is cheap but not free -- callers on hot paths must gate
+on :func:`repro.telemetry.enabled` so a disabled run never pays for it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+import threading
+
+#: Newton-iterations-per-solve style distributions.
+ITERATION_BUCKETS = (2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+#: Wall-clock durations in seconds (spans, queue latency).
+SECONDS_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+#: Fractions in [0, 1] (batch convergence-mask occupancy, hit rates).
+FRACTION_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+_SNAPSHOT_VERSION = 1
+
+
+class Counter:
+    """A monotonically increasing named integer."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Histogram:
+    """Fixed-bound histogram with Prometheus ``le`` bucket semantics.
+
+    ``counts[i]`` holds observations ``<= bounds[i]`` (exclusive of the
+    previous bound); ``counts[-1]`` is the ``+Inf`` overflow bucket.
+    Counts are stored per-bucket and cumulated only at exposition time.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "_lock")
+
+    def __init__(self, name: str, bounds: tuple[float, ...],
+                 lock: threading.Lock):
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+
+class MetricsRegistry:
+    """Thread-safe named counters and histograms with snapshot/merge."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- creation / access --------------------------------------------- #
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name, self._lock)
+            return counter
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = ITERATION_BUCKETS) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(
+                    name, bounds, self._lock)
+            return histogram
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float,
+                bounds: tuple[float, ...] = ITERATION_BUCKETS) -> None:
+        self.histogram(name, bounds).observe(value)
+
+    # -- snapshot / merge ----------------------------------------------- #
+    def snapshot(self) -> dict:
+        """A JSON-serialisable copy of every counter and histogram."""
+        with self._lock:
+            counters = {name: counter.value
+                        for name, counter in self._counters.items()}
+            histograms = {
+                name: {"bounds": list(histogram.bounds),
+                       "counts": list(histogram.counts),
+                       "sum": histogram.sum,
+                       "count": histogram.count}
+                for name, histogram in self._histograms.items()}
+        return {"version": _SNAPSHOT_VERSION, "counters": counters,
+                "histograms": histograms}
+
+    def merge(self, snapshot: dict) -> None:
+        """Add a :meth:`snapshot`-shaped dict into this registry."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, data in (snapshot.get("histograms") or {}).items():
+            bounds = tuple(float(b) for b in data.get("bounds", ()))
+            histogram = self.histogram(name, bounds or ITERATION_BUCKETS)
+            counts = [int(c) for c in data.get("counts", ())]
+            if len(counts) != len(histogram.counts):
+                continue  # incompatible bounds; drop rather than corrupt
+            with self._lock:
+                for i, c in enumerate(counts):
+                    histogram.counts[i] += c
+                histogram.sum += float(data.get("sum", 0.0))
+                histogram.count += int(data.get("count", 0))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Merge an iterable of snapshot dicts into one (pure function)."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot:
+            merged.merge(snapshot)
+    return merged.snapshot()
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters") or {}):
+        value = snapshot["counters"][name]
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_number(value)}")
+    for name in sorted(snapshot.get("histograms") or {}):
+        data = snapshot["histograms"][name]
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            lines.append(f'{name}_bucket{{le="{format(bound, "g")}"}} '
+                         f"{cumulative}")
+        cumulative += data["counts"][-1]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {_format_number(data['sum'])}")
+        lines.append(f"{name}_count {data['count']}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,38 @@
+"""Pretty-printed summary of a metrics snapshot for local runs."""
+
+from __future__ import annotations
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_report(snapshot: dict) -> str:
+    """An aligned plain-text table of every counter and histogram."""
+    counters = snapshot.get("counters") or {}
+    histograms = snapshot.get("histograms") or {}
+    lines = ["telemetry report", "================"]
+    if not counters and not histograms:
+        lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("")
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    for name in sorted(histograms):
+        data = histograms[name]
+        count = int(data.get("count", 0))
+        total = float(data.get("sum", 0.0))
+        mean = total / count if count else float("nan")
+        lines.append("")
+        lines.append(f"{name}  (count={count}, mean={mean:.4g})")
+        if not count:
+            continue
+        bounds = list(data.get("bounds", [])) + [float("inf")]
+        for bound, bucket in zip(bounds, data.get("counts", [])):
+            label = "+Inf" if bound == float("inf") else format(bound, "g")
+            lines.append(f"  <= {label:>8}  {_bar(bucket / count)}  {bucket}")
+    return "\n".join(lines)

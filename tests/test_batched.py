@@ -25,6 +25,7 @@ from repro.engine import (
     available_backends,
     resolve_backend,
 )
+from repro.errors import ConvergenceError
 from repro.mc import MonteCarloConfig, MonteCarloRunner
 from repro.mc.samplers import make_sampler
 from repro.spice import (
@@ -448,3 +449,57 @@ class TestStamperUnits:
         op = dc_operating_point(circuit, rescue=False)
         assert not op.converged
         assert np.isfinite(op.voltages).all()
+
+
+# ===================================================================== #
+# enriched failure messages                                             #
+# ===================================================================== #
+class TestEnrichedFailureMessages:
+    """ConvergenceError messages carry the final solver state.
+
+    The enriched fragment (Newton iteration count, final residual norm,
+    final gmin level) is rendered by ``SolveStats.failure_detail`` from
+    values both solver paths compute through identical arithmetic, so the
+    serial and batched messages must agree character for character.
+    """
+
+    #: A budget no opamp converges under: two Newton iterations on the
+    #: tightest gmin rung, with the rescue ladder disabled.
+    HARD = dict(max_iterations=2, gmin_steps=(1e-12,), rescue=False)
+
+    @staticmethod
+    def _circuit():
+        problem = make_problem("two_stage_opamp")
+        return problem.bench.builders["main"](
+            GOOD_DESIGNS["two_stage_opamp"])
+
+    def test_serial_message_carries_solver_state(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            dc_operating_point(self._circuit(), raise_on_failure=True,
+                               **self.HARD)
+        message = str(excinfo.value)
+        assert "did not converge" in message
+        for token in ("Newton iterations", "residual=", "gmin="):
+            assert token in message
+        # The fragment is exactly the stats' own rendering.
+        op = dc_operating_point(self._circuit(), **self.HARD)
+        assert not op.converged
+        assert message.endswith(op.stats.failure_detail())
+
+    def test_batched_message_matches_serial_fragment(self):
+        serial = dc_operating_point(self._circuit(), **self.HARD)
+        with pytest.raises(ConvergenceError) as excinfo:
+            dc_operating_point_batch([self._circuit()],
+                                     raise_on_failure=True, **self.HARD)
+        message = str(excinfo.value)
+        assert "first failure" in message
+        assert serial.stats.failure_detail() in message
+
+    def test_serial_and_batched_details_bit_identical(self):
+        serial = dc_operating_point(self._circuit(), **self.HARD)
+        batched = dc_operating_point_batch([self._circuit()], **self.HARD)[0]
+        assert not serial.converged and not batched.converged
+        assert batched.stats.failure_detail() == serial.stats.failure_detail()
+        assert batched.stats.final_residual == serial.stats.final_residual
+        assert batched.stats.final_gmin == serial.stats.final_gmin
+        assert batched.stats.iterations == serial.stats.iterations

@@ -28,6 +28,7 @@ from repro.spice import (
     SparseStamper,
     StepWaveform,
     VoltageSource,
+    dc_operating_point,
     transient_analysis,
     transient_analysis_batch,
     transient_operating_point,
@@ -360,3 +361,47 @@ class TestBatchSimulatorTransient:
         design = GOOD_DESIGNS["two_stage_opamp_settling"]
         with pytest.raises(ValueError, match="transient"):
             BatchSimulator().run([(fast.bench, design), (slow.bench, design)])
+
+
+# ===================================================================== #
+# enriched initial-condition failure messages                           #
+# ===================================================================== #
+class TestEnrichedInitialConditionMessages:
+    """The failed-initial-condition message carries the DC solver state.
+
+    Both transient paths embed ``SolveStats.failure_detail`` from the
+    operating point's stats, so a pre-solved non-converged initial
+    condition must produce character-identical serial and batched
+    messages.
+    """
+
+    #: A budget no opamp converges under (see test_batched.py).
+    HARD = dict(max_iterations=2, gmin_steps=(1e-12,), rescue=False)
+
+    @staticmethod
+    def _circuit():
+        problem = make_problem("two_stage_opamp")
+        return problem.bench.builders["main"](
+            GOOD_DESIGNS["two_stage_opamp"])
+
+    def test_serial_message_carries_solver_state(self):
+        circuit = self._circuit()
+        op = dc_operating_point(circuit, **self.HARD)
+        assert not op.converged
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient_analysis(circuit, T_STOP, operating_point=op)
+        message = str(excinfo.value)
+        assert "initial condition" in message
+        for token in ("Newton iterations", "residual=", "gmin="):
+            assert token in message
+        assert message.endswith(op.stats.failure_detail())
+
+    def test_batched_message_identical_to_serial(self):
+        op = dc_operating_point(self._circuit(), **self.HARD)
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient_analysis(self._circuit(), T_STOP, operating_point=op)
+        batched = transient_analysis_batch([self._circuit()], T_STOP,
+                                           operating_points=[op],
+                                           return_errors=True)
+        assert type(batched[0]) is ConvergenceError
+        assert str(batched[0]) == str(excinfo.value)

@@ -1,0 +1,121 @@
+"""Concurrency hammer for the shared :class:`DesignCache`.
+
+The cache is shared between engines whose coordinating threads run
+concurrently (process-pool backends, queue workers re-leasing jobs), so its
+counters and entry map must never lose updates under contention.  These
+tests pound one cache from many threads through every mutating path --
+``get`` / ``put`` / ``record_saved_duplicate`` -- and then check *counter
+conservation*: every thread tallies its own outcomes locally, and the
+cache's ``CacheStats`` (and, when enabled, the telemetry registry fed from
+the same call sites) must agree with the per-thread sums exactly.  A single
+lost increment or torn LRU update fails the test.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.bo.problem import EvaluatedDesign
+from repro.engine.cache import DesignCache
+
+N_THREADS = 8
+OPS_PER_THREAD = 400
+
+
+def _evaluation(value: float) -> EvaluatedDesign:
+    return EvaluatedDesign(x=np.array([value]), metrics={"f": value},
+                           objective=value, feasible=True)
+
+
+def _hammer(cache: DesignCache, barrier: threading.Barrier, seed: int,
+            keyspace: int, totals: list) -> None:
+    """One worker: a deterministic mix of lookups, inserts and duplicates."""
+    rng = np.random.default_rng(seed)
+    hits = misses = puts = duplicates = 0
+    barrier.wait()
+    for i in range(OPS_PER_THREAD):
+        slot = int(rng.integers(keyspace))
+        key = DesignCache.key_for("hammer", np.array([float(slot)]))
+        if cache.get(key) is None:
+            misses += 1
+            cache.put(key, _evaluation(float(slot)))
+            puts += 1
+        else:
+            hits += 1
+        if i % 7 == 0:
+            cache.record_saved_duplicate()
+            duplicates += 1
+    totals.append((hits, misses, puts, duplicates))
+
+
+def _run_hammer(cache: DesignCache, keyspace: int):
+    barrier = threading.Barrier(N_THREADS)
+    totals: list = []
+    threads = [threading.Thread(target=_hammer,
+                                args=(cache, barrier, 1000 + t, keyspace,
+                                      totals))
+               for t in range(N_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(totals) == N_THREADS  # no worker died
+    hits = sum(t[0] for t in totals)
+    misses = sum(t[1] for t in totals)
+    puts = sum(t[2] for t in totals)
+    duplicates = sum(t[3] for t in totals)
+    return hits, misses, puts, duplicates
+
+
+class TestCacheHammer:
+    def test_counter_conservation_under_contention(self):
+        cache = DesignCache(maxsize=None)
+        hits, misses, puts, duplicates = _run_hammer(cache, keyspace=64)
+        # Every increment the workers performed must have landed.
+        assert cache.stats.hits == hits + duplicates
+        assert cache.stats.misses == misses
+        assert cache.stats.lookups == N_THREADS * OPS_PER_THREAD + duplicates
+        assert cache.stats.evictions == 0
+        # Unbounded cache with a 64-slot keyspace: one entry per touched
+        # slot, no more (a torn OrderedDict update would corrupt this).
+        assert len(cache) <= 64
+        assert misses >= len(cache)  # every entry came from a counted miss
+
+    def test_eviction_conservation_with_small_cache(self):
+        cache = DesignCache(maxsize=16)
+        hits, misses, puts, duplicates = _run_hammer(cache, keyspace=128)
+        assert cache.stats.hits == hits + duplicates
+        assert cache.stats.misses == misses
+        assert len(cache) <= 16
+        # Inserts either still occupy a slot, were evicted, or overwrote a
+        # racing insert of the same key; evictions can never exceed puts.
+        assert cache.stats.evictions <= puts
+        assert puts - cache.stats.evictions >= len(cache)
+
+    def test_telemetry_counters_match_stats(self):
+        """The registry is fed outside the cache lock; counts still conserve."""
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            cache = DesignCache(maxsize=32)
+            _run_hammer(cache, keyspace=96)
+            counters = telemetry.snapshot()["counters"]
+            assert counters.get("repro_cache_hits_total", 0) == cache.stats.hits
+            assert counters.get("repro_cache_misses_total", 0) == cache.stats.misses
+            assert counters.get("repro_cache_evictions_total", 0) == cache.stats.evictions
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+    def test_stats_remain_plain_ints(self):
+        cache = DesignCache()
+        cache.get("missing")
+        cache.put("k", _evaluation(1.0))
+        cache.get("k")
+        cache.record_saved_duplicate()
+        for value in (cache.stats.hits, cache.stats.misses,
+                      cache.stats.evictions):
+            assert type(value) is int
+        assert cache.stats.as_dict()["hit_rate"] == pytest.approx(2 / 3)

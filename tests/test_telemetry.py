@@ -1,0 +1,371 @@
+"""Tests for the telemetry subsystem: registry, spans, stats, persistence.
+
+The telemetry contract has two halves, both exercised here:
+
+* **observability** -- with telemetry on, solves feed counters/histograms
+  into the process registry, spans land in the trace buffer and export as a
+  valid Perfetto JSON document, studies persist per-batch snapshots into
+  the store's ``metrics`` table, and the HTTP API exposes the merged view
+  as JSON (``/api/metrics``) and Prometheus text (``/metrics``);
+* **non-interference** -- results are bit-identical with telemetry on and
+  off (stats ride as ``compare=False`` metadata), and the disabled path
+  does no registry work at all.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+import service_plugin  # noqa: F401 - registers the service_quadratic problem
+from repro import telemetry
+from repro.circuits import make_problem
+from repro.service.api import create_server, metrics_overview, prometheus_body
+from repro.service.store import ResultsStore, StoreCheckpoint
+from repro.service.worker import Worker
+from repro.spice.dc import dc_operating_point, dc_operating_point_batch
+from repro.study import Study, StudySpec
+from repro.telemetry import MetricsRegistry, SolveStats, prometheus_text
+from repro.telemetry.registry import merge_snapshots
+from repro.telemetry.report import render_report
+
+
+@pytest.fixture
+def telemetry_on():
+    """Enable telemetry for one test, restoring the disabled default."""
+    telemetry.reset()
+    telemetry.enable()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _spec(**overrides) -> StudySpec:
+    base = dict(optimizer="random", circuit="service_quadratic",
+                n_simulations=10, n_init=4, batch_size=3, seed=11)
+    base.update(overrides)
+    return StudySpec(**base)
+
+
+def _ladder_circuit():
+    from repro.spice.devices import Resistor, VoltageSource
+    from repro.spice.netlist import Circuit
+    circuit = Circuit("ladder")
+    circuit.add(VoltageSource("V1", "in", "0", dc=1.0))
+    circuit.add(Resistor("R1", "in", "mid", resistance=1e3))
+    circuit.add(Resistor("R2", "mid", "0", resistance=1e3))
+    return circuit
+
+
+# ---------------------------------------------------------------------- #
+# registry                                                                #
+# ---------------------------------------------------------------------- #
+class TestRegistry:
+    def test_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        registry.observe("h", 3.0, (2.0, 5.0, 10.0))
+        registry.observe("h", 7.0, (2.0, 5.0, 10.0))
+        registry.observe("h", 99.0, (2.0, 5.0, 10.0))  # +Inf overflow bucket
+        snap = registry.snapshot()
+        assert snap["counters"]["a"] == 5
+        hist = snap["histograms"]["h"]
+        assert hist["counts"] == [0, 1, 1, 1]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(109.0)
+
+    def test_merge_adds_and_skips_incompatible_bounds(self):
+        a = MetricsRegistry()
+        a.inc("n", 2)
+        a.observe("h", 1.0, (2.0, 5.0))
+        b = MetricsRegistry()
+        b.inc("n", 3)
+        b.observe("h", 9.0, (2.0, 5.0))
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["n"] == 5
+        assert merged["histograms"]["h"]["count"] == 2
+        # A histogram with different bounds cannot merge; it is dropped
+        # rather than silently mixed into the wrong buckets.
+        c = MetricsRegistry()
+        c.observe("h", 1.0, (1.0, 2.0, 3.0))
+        merged = merge_snapshots([a.snapshot(), c.snapshot()])
+        assert merged["histograms"]["h"]["counts"] == [1, 0, 0]
+
+    def test_merge_ignores_extra_payload_keys(self):
+        a = MetricsRegistry()
+        a.inc("n")
+        merged = merge_snapshots([{**a.snapshot(), "pid": 1234}])
+        assert merged["counters"]["n"] == 1
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_solves_total", 7)
+        registry.observe("repro_solve_iterations", 3.0, (2.0, 5.0))
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE repro_solves_total counter\n" in text
+        assert "repro_solves_total 7\n" in text
+        assert "# TYPE repro_solve_iterations histogram\n" in text
+        # Buckets are cumulative and end with +Inf.
+        assert 'repro_solve_iterations_bucket{le="2"} 0\n' in text
+        assert 'repro_solve_iterations_bucket{le="5"} 1\n' in text
+        assert 'repro_solve_iterations_bucket{le="+Inf"} 1\n' in text
+        assert "repro_solve_iterations_count 1\n" in text
+
+    def test_report_renders(self):
+        registry = MetricsRegistry()
+        assert "no metrics" in render_report(registry.snapshot())
+        registry.inc("repro_solves_total", 3)
+        registry.observe("repro_solve_iterations", 4.0, (2.0, 5.0))
+        text = render_report(registry.snapshot())
+        assert "repro_solves_total" in text
+        assert "repro_solve_iterations" in text
+
+
+# ---------------------------------------------------------------------- #
+# spans and traces                                                        #
+# ---------------------------------------------------------------------- #
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        assert telemetry.span("x") is telemetry.span("y")
+        with telemetry.span("x", circuit="c"):
+            pass
+        assert telemetry.trace.events() == []
+
+    def test_nested_spans_export_perfetto_json(self, telemetry_on, tmp_path):
+        with telemetry.span("outer", kind="test"):
+            with telemetry.span("inner"):
+                pass
+        events = telemetry.trace.events()
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        path = tmp_path / "trace.json"
+        assert telemetry.export_trace(path) == 2
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+            assert {"name", "ts", "pid", "tid"} <= set(event)
+        assert doc["traceEvents"][1]["args"] == {"kind": "test"}
+
+    def test_span_exits_record_even_on_exception(self, telemetry_on):
+        with pytest.raises(RuntimeError):
+            with telemetry.span("boom"):
+                raise RuntimeError("x")
+        assert [e["name"] for e in telemetry.trace.events()] == ["boom"]
+
+
+# ---------------------------------------------------------------------- #
+# solver stats                                                            #
+# ---------------------------------------------------------------------- #
+class TestSolveStats:
+    def test_serial_dc_attaches_stats(self):
+        op = dc_operating_point(_ladder_circuit())
+        stats = op.stats
+        assert stats is not None and stats.converged
+        assert stats.analysis == "dc"
+        assert stats.iterations == sum(stats.iterations_per_gmin)
+        assert np.isfinite(stats.final_residual)
+
+    def test_batch_stats_match_serial(self):
+        serial = dc_operating_point(_ladder_circuit()).stats
+        batched = dc_operating_point_batch(
+            [_ladder_circuit(), _ladder_circuit()])[0].stats
+        assert batched.batch_size == 2
+        for field in ("iterations", "iterations_per_gmin", "gmin_steps",
+                      "final_residual", "final_gmin", "damping_clamps",
+                      "rescue_entered"):
+            assert getattr(batched, field) == getattr(serial, field), field
+
+    def test_stats_are_noncomparing_metadata(self):
+        import dataclasses
+        from repro.spice.dc import OperatingPoint
+        from repro.spice.transient import TransientResult
+        for cls in (OperatingPoint, TransientResult):
+            field = {f.name: f for f in dataclasses.fields(cls)}["stats"]
+            assert field.compare is False, cls
+            assert field.repr is False, cls
+        op = dc_operating_point(_ladder_circuit())
+        assert "stats" not in repr(op)
+
+    def test_record_solve_feeds_registry(self, telemetry_on):
+        dc_operating_point(_ladder_circuit())
+        snap = telemetry.snapshot()
+        assert snap["counters"]["repro_solves_total"] == 1
+        assert snap["counters"]["repro_newton_iterations_total"] > 0
+        assert snap["histograms"]["repro_solve_iterations"]["count"] == 1
+
+    def test_disabled_records_nothing(self):
+        telemetry.reset()
+        dc_operating_point(_ladder_circuit())
+        snap = telemetry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+    def test_failure_detail_format(self):
+        stats = SolveStats(converged=False, iterations=40,
+                           final_residual=1.25e-3, final_gmin=1e-6)
+        detail = stats.failure_detail()
+        assert "after 40 Newton iterations" in detail
+        assert "residual=1.250e-03" in detail
+        assert "gmin=1e-06" in detail
+
+
+# ---------------------------------------------------------------------- #
+# bit-identity with telemetry on vs off                                   #
+# ---------------------------------------------------------------------- #
+class TestBitIdentity:
+    def test_study_identical_with_telemetry_on_and_off(self):
+        telemetry.reset()
+        baseline = Study(_spec()).run()
+        telemetry.enable()
+        try:
+            instrumented = Study(_spec()).run()
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        np.testing.assert_array_equal(instrumented.history.x,
+                                      baseline.history.x)
+        np.testing.assert_array_equal(instrumented.history.objectives,
+                                      baseline.history.objectives)
+        np.testing.assert_array_equal(instrumented.best_curve(),
+                                      baseline.best_curve())
+
+    def test_circuit_op_identical_with_telemetry_on_and_off(self):
+        problem = make_problem("two_stage_opamp")
+        x = problem.design_space.sample(2, rng=np.random.default_rng(3))
+        try:
+            telemetry.reset()
+            baseline = problem.evaluate_batch(x)
+            telemetry.enable()
+            try:
+                instrumented = problem.evaluate_batch(x)
+            finally:
+                telemetry.disable()
+                telemetry.reset()
+        finally:
+            problem.close()
+        for a, b in zip(baseline, instrumented):
+            assert a.objective == b.objective
+            assert a.metrics == b.metrics
+
+
+# ---------------------------------------------------------------------- #
+# persistence + HTTP endpoints                                            #
+# ---------------------------------------------------------------------- #
+def _get(port: int, path: str):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=10) as response:
+        body = response.read().decode()
+        return response.headers.get("Content-Type", ""), body
+
+
+class TestServiceTelemetry:
+    def test_store_study_persists_metrics_snapshots(self, tmp_path,
+                                                    telemetry_on):
+        store = ResultsStore(tmp_path / "results.db")
+        try:
+            Study(_spec(), checkpoint=StoreCheckpoint(store, "st")).run()
+            rows = store.metrics_rows("st")
+            assert rows, "telemetry-enabled store study wrote no snapshots"
+            latest = rows[-1]["payload"]
+            assert latest["counters"]["repro_designs_evaluated_total"] > 0
+            assert "pid" in latest
+            overview = metrics_overview(store)
+            assert (overview["merged"]["counters"]
+                    ["repro_designs_evaluated_total"] > 0)
+        finally:
+            store.close()
+
+    def test_disabled_study_writes_no_snapshots(self, tmp_path):
+        telemetry.reset()
+        store = ResultsStore(tmp_path / "results.db")
+        try:
+            Study(_spec(), checkpoint=StoreCheckpoint(store, "st")).run()
+            assert store.metrics_rows("st") == []
+        finally:
+            store.close()
+
+    def test_worker_heartbeats_carry_throughput(self, tmp_path, telemetry_on):
+        from repro.service.queue import WorkQueue
+        store = ResultsStore(tmp_path / "results.db")
+        try:
+            queue = WorkQueue(store)
+            spec_dict = _spec().to_dict()
+            x = [[0.2, 0.4, 0.6], [0.1, 0.9, 0.5]]
+            queue.enqueue("st", 0, 0, {"kind": "evaluate", "spec": spec_dict,
+                                       "x": x})
+            worker = Worker(store, worker_id="w-test")
+            worker.run(max_jobs=1, idle_timeout=0.5)
+            row = store.list_workers()[0]
+            assert row["rows_done"] == 2
+            assert row["busy_seconds"] > 0
+            assert store.metrics_rows("st"), "worker wrote no snapshot"
+            health = metrics_overview(store)["workers"][0]
+            assert health["rows_per_second"] > 0
+        finally:
+            store.close()
+
+    def test_metrics_endpoints(self, tmp_path, telemetry_on):
+        store = ResultsStore(tmp_path / "results.db")
+        server = create_server(store, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            Study(_spec(), checkpoint=StoreCheckpoint(store, "st")).run()
+            port = server.server_address[1]
+            content_type, body = _get(port, "/api/metrics")
+            assert content_type.startswith("application/json")
+            overview = json.loads(body)
+            counters = overview["merged"]["counters"]
+            assert counters["repro_designs_evaluated_total"] > 0
+            assert "queue_latency" in overview and "workers" in overview
+            content_type, text = _get(port, "/metrics")
+            assert content_type.startswith("text/plain")
+            assert "# TYPE repro_designs_evaluated_total counter" in text
+            assert "repro_queue_jobs" in text
+        finally:
+            server.shutdown()
+            server.server_close()
+            store.close()
+
+    def test_prometheus_body_without_snapshots(self, tmp_path):
+        telemetry.reset()
+        store = ResultsStore(tmp_path / "empty.db")
+        try:
+            text = prometheus_body(store)
+            assert isinstance(text, str)  # no snapshots -> empty-but-valid
+        finally:
+            store.close()
+
+
+# ---------------------------------------------------------------------- #
+# store migration                                                         #
+# ---------------------------------------------------------------------- #
+def test_old_store_gains_worker_throughput_columns(tmp_path):
+    """A db created before the throughput columns migrates on open."""
+    import sqlite3
+    path = tmp_path / "old.db"
+    conn = sqlite3.connect(path)
+    conn.execute("""CREATE TABLE workers (
+        worker_id TEXT PRIMARY KEY, hostname TEXT NOT NULL DEFAULT '',
+        pid INTEGER, status TEXT NOT NULL DEFAULT 'idle',
+        current_job INTEGER, n_jobs_done INTEGER NOT NULL DEFAULT 0,
+        started_at REAL NOT NULL, heartbeat_at REAL NOT NULL)""")
+    conn.execute("""INSERT INTO workers
+        (worker_id, started_at, heartbeat_at) VALUES ('w', 0, 0)""")
+    conn.commit()
+    conn.close()
+    store = ResultsStore(path)
+    try:
+        store.worker_heartbeat("w", "idle", rows_delta=3,
+                               busy_seconds_delta=1.5)
+        row = store.list_workers()[0]
+        assert row["rows_done"] == 3
+        assert row["busy_seconds"] == 1.5
+    finally:
+        store.close()
